@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+The Fig. 4-7 benchmarks all consume the same framework-comparison experiment; it is
+computed once per model per session here and cached by
+:mod:`repro.experiments.comparison_suite`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.comparison_suite import comparison_results
+
+
+@pytest.fixture(scope="session")
+def yolov5s_comparison():
+    """Framework comparison on YOLOv5s at 640x640 (the paper's primary model)."""
+    return comparison_results("yolov5s", image_size=640)
+
+
+@pytest.fixture(scope="session")
+def retinanet_comparison():
+    """Framework comparison on RetinaNet at 640x640."""
+    return comparison_results("retinanet", image_size=640)

@@ -1,0 +1,73 @@
+"""Ablations of the R-TOSS design choices (DFS grouping, 1x1 transform, connectivity)
+and micro-benchmarks of the framework's hot kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.dfs_grouping import group_model
+from repro.core.kernel_pruning import assign_patterns, assign_patterns_reference
+from repro.core.one_by_one import prune_pointwise_weights
+from repro.core.patterns import build_pattern_library
+from repro.evaluation.tables import format_table
+from repro.experiments.ablation import (
+    ablation_checks,
+    run_rtoss_ablation,
+    run_vectorisation_ablation,
+)
+from repro.models.yolov5 import yolov5s
+from repro.nn.tensor import Tensor
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_design_choices(benchmark):
+    rows = benchmark.pedantic(run_rtoss_ablation, rounds=1, iterations=1)
+
+    print()
+    print(format_table([row.as_dict() for row in rows],
+                       title="R-TOSS design-choice ablation (YOLOv5s)"))
+    checks = ablation_checks(rows)
+    assert all(checks.values()), checks
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_vectorised_vs_reference_assignment(benchmark):
+    result = benchmark.pedantic(run_vectorisation_ablation,
+                                kwargs={"out_channels": 128, "in_channels": 64},
+                                rounds=1, iterations=1)
+    print(f"\nvectorised Algorithm 2: {result.speedup:.0f}x faster than the literal "
+          f"pseudo-code on {result.kernels} kernels (identical output: {result.identical})")
+    assert result.identical
+    assert result.speedup > 10.0
+
+
+# ----------------------------------------------------------------------- micro-benchmarks
+@pytest.mark.benchmark(group="kernels")
+def test_bench_pattern_assignment_vectorised(benchmark):
+    library = build_pattern_library(3)
+    weights = np.random.default_rng(0).standard_normal((256, 128, 3, 3)).astype(np.float32)
+    assignment = benchmark(assign_patterns, weights, library)
+    assert assignment.mask.shape == weights.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_pattern_assignment_reference(benchmark):
+    library = build_pattern_library(3)
+    weights = np.random.default_rng(0).standard_normal((16, 8, 3, 3)).astype(np.float32)
+    assignment = benchmark(assign_patterns_reference, weights, library)
+    assert assignment.mask.shape == weights.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_pointwise_transformation(benchmark):
+    library = build_pattern_library(2)
+    weights = np.random.default_rng(0).standard_normal((512, 256, 1, 1)).astype(np.float32)
+    assignment = benchmark(prune_pointwise_weights, weights, library)
+    assert assignment.mask.shape == weights.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_dfs_grouping_yolov5s(benchmark):
+    model = yolov5s()
+    example = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+    result = benchmark.pedantic(group_model, args=(model, example), rounds=2, iterations=1)
+    assert result.num_groups >= 1

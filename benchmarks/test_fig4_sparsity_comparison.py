@@ -1,0 +1,36 @@
+"""Fig. 4 — sparsity (compression) ratio of every framework, normalised to BM."""
+
+import pytest
+
+from repro.evaluation.tables import format_bar_chart
+from repro.experiments.figures import fig4_checks, run_fig4_sparsity
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_sparsity_yolov5s(benchmark, yolov5s_comparison):
+    ratios = benchmark.pedantic(
+        run_fig4_sparsity, kwargs={"model_key": "yolov5s", "results": yolov5s_comparison},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_bar_chart(ratios, title="Fig. 4(a) compression ratio vs BM (YOLOv5s)", unit="x"))
+    assert all(fig4_checks(ratios).values()), fig4_checks(ratios)
+
+    # Paper: 4.4x (2EP) and 2.9x (3EP) on YOLOv5s.
+    assert ratios["R-TOSS-2EP"] == pytest.approx(4.4, rel=0.25)
+    assert ratios["R-TOSS-3EP"] == pytest.approx(2.9, rel=0.25)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_sparsity_retinanet(benchmark, retinanet_comparison):
+    ratios = benchmark.pedantic(
+        run_fig4_sparsity, kwargs={"model_key": "retinanet", "results": retinanet_comparison},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_bar_chart(ratios, title="Fig. 4(b) compression ratio vs BM (RetinaNet)", unit="x"))
+    assert all(fig4_checks(ratios).values()), fig4_checks(ratios)
+
+    # Paper: 2.89x (2EP) and 2.4x (3EP) on RetinaNet.
+    assert ratios["R-TOSS-2EP"] == pytest.approx(2.89, rel=0.25)
+    assert ratios["R-TOSS-3EP"] == pytest.approx(2.4, rel=0.25)

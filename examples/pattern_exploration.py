@@ -1,0 +1,57 @@
+"""Explore the kernel-pattern space of Section IV.B.
+
+Run with:  python examples/pattern_exploration.py
+
+Walks through the pattern-selection pipeline of the paper:
+  * Eq. (1): how many candidate masks exist per entry count,
+  * the adjacency filter that keeps patterns semi-structured,
+  * the L2-norm calibration that ranks patterns by how often they win,
+  * what the final 21-pattern library looks like,
+  * how the choice of entry count trades sparsity for retained weight energy.
+"""
+
+import numpy as np
+
+from repro.core import (
+    build_pattern_library,
+    connected_patterns,
+    enumerate_patterns,
+    num_candidate_patterns,
+)
+from repro.utils.rng import default_rng
+
+
+def main() -> None:
+    print("Eq. (1): candidate kernel patterns per entry count")
+    for entries in range(1, 9):
+        total = num_candidate_patterns(entries)
+        connected = len(connected_patterns(entries))
+        print(f"  {entries}-entry: C(9, {entries}) = {total:4d} candidates, "
+              f"{connected:4d} survive the adjacency filter")
+
+    print("\nThe paper's libraries (most-used patterns by L2-norm calibration):")
+    for entries in (2, 3, 4, 5):
+        library = build_pattern_library(entries)
+        print(f"\n--- {entries}EP library: {len(library)} patterns "
+              f"(keep fraction {library.keep_fraction:.2f}) ---")
+        for pattern, wins in list(zip(library, library.usage_counts))[:3]:
+            grid = str(pattern).replace("X", "#")
+            print(f"won {wins} calibration kernels:")
+            print("   " + grid.replace("\n", "\n   "))
+
+    print("\nRetained weight energy vs sparsity (random kernels in [-1, 1]):")
+    rng = default_rng(0)
+    kernels = rng.uniform(-1, 1, size=(2000, 9)).astype(np.float32)
+    energy = (kernels**2).sum(axis=1)
+    for entries in (2, 3, 4, 5):
+        library = build_pattern_library(entries)
+        masks = library.mask_matrix()
+        retained = ((kernels**2) @ masks.T).max(axis=1)
+        print(f"  {entries}EP: sparsity {1 - entries / 9:.1%}, "
+              f"mean retained L2 energy {np.mean(retained / energy):.1%}")
+    print("\nThis is the trade-off behind Table 3: 2EP prunes the most but 3EP keeps "
+          "more of each kernel's energy, which is why 3EP wins mAP on YOLOv5s.")
+
+
+if __name__ == "__main__":
+    main()

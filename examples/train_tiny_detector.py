@@ -1,0 +1,76 @@
+"""Train, prune and fine-tune a detector end-to-end on synthetic KITTI — with
+*measured* mAP at every step.
+
+Run with:  python examples/train_tiny_detector.py [--steps 120]
+
+The full-size YOLOv5s/RetinaNet cannot be trained in a numpy-only environment, so
+this example uses the TinyDetector (same ingredient layers, same pruning code paths)
+to demonstrate the complete workflow of the paper:
+
+  train -> evaluate mAP -> prune (R-TOSS / baselines) -> fine-tune with masks pinned
+  -> evaluate mAP again -> compare frameworks.
+"""
+
+import argparse
+
+from repro.core import RTOSSConfig, RTOSSPruner
+from repro.evaluation import format_table
+from repro.experiments import (
+    TinyTrainingConfig,
+    evaluate_tiny_map,
+    prune_and_finetune,
+    train_tiny_detector,
+)
+from repro.pruning import FilterPruner, MagnitudePruner, PatDNNPruner
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=120, help="training steps")
+    parser.add_argument("--scenes", type=int, default=64, help="synthetic scenes")
+    parser.add_argument("--finetune-steps", type=int, default=25)
+    args = parser.parse_args()
+
+    config = TinyTrainingConfig(
+        num_scenes=args.scenes,
+        train_steps=args.steps,
+        finetune_steps=args.finetune_steps,
+        learning_rate=4e-3,
+        conf_threshold=0.3,
+    )
+    print(f"training TinyDetector for {config.train_steps} steps "
+          f"on {config.num_scenes} synthetic KITTI scenes (60:40 split)...")
+    training = train_tiny_detector(config)
+    baseline = evaluate_tiny_map(training)
+    print(f"baseline measured mAP@0.5: {baseline['mAP']:.3f} "
+          f"({int(baseline['num_ground_truth'])} ground-truth boxes in the val split)")
+
+    frameworks = {
+        "R-TOSS-3EP": RTOSSPruner(RTOSSConfig(entries=3)),
+        "R-TOSS-2EP": RTOSSPruner(RTOSSConfig(entries=2)),
+        "PD": PatDNNPruner(entries=4, connectivity_ratio=0.30),
+        "NMS": MagnitudePruner(sparsity=0.60),
+        "PF": FilterPruner(ratio=0.40),
+    }
+
+    rows = []
+    for name, pruner in frameworks.items():
+        outcome = prune_and_finetune(training, pruner, baseline["mAP"], framework_name=name)
+        rows.append({
+            "framework": name,
+            "compression": round(outcome.report.compression_ratio, 2),
+            "sparsity": round(outcome.report.overall_sparsity, 3),
+            "mAP before finetune": round(outcome.map_before_finetune, 3),
+            "mAP after finetune": round(outcome.map_after_finetune, 3),
+            "baseline mAP": round(baseline["mAP"], 3),
+        })
+
+    print()
+    print(format_table(rows, title="Measured prune -> fine-tune -> evaluate comparison"))
+    print("\nNote: these are *measured* numbers on the trainable TinyDetector; the "
+          "full-size YOLOv5s/RetinaNet mAP figures in the benchmarks are estimates "
+          "(see EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

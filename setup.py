@@ -1,0 +1,21 @@
+"""Setup shim so the package installs in environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation --no-use-pep517` (or a plain
+`python setup.py develop`) works offline; the canonical metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "R-TOSS: semi-structured (pattern-based) pruning framework for real-time "
+        "object detectors — full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

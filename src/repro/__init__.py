@@ -1,0 +1,19 @@
+"""R-TOSS reproduction library.
+
+A complete, self-contained reproduction of *R-TOSS: A Framework for Real-Time
+Object Detection using Semi-Structured Pruning* (DAC 2023), including:
+
+* ``repro.nn`` — a numpy neural-network substrate (tensors, autograd, layers),
+* ``repro.detection`` / ``repro.data`` — detection toolkit and synthetic KITTI data,
+* ``repro.models`` — YOLOv5s, RetinaNet and the other detectors the paper references,
+* ``repro.core`` — the R-TOSS semi-structured pruning framework itself,
+* ``repro.pruning`` — the baseline pruning frameworks compared against,
+* ``repro.hardware`` — analytic latency/energy/compression models of the paper's
+  evaluation platforms (RTX 2080Ti, Jetson TX2),
+* ``repro.evaluation`` / ``repro.experiments`` — end-to-end evaluation and drivers
+  that regenerate every table and figure of the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

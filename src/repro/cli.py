@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``prune``     Build a model, prune it with a chosen framework, print the report and
+              optionally save the pruned state dict.
+``census``    Print the kernel-size census of a model (Section III motivation).
+``compare``   Run the framework comparison (Figs. 4-7) on a model and print the table.
+``models``    List the models available in the registry with their parameter counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import RTOSSConfig
+from repro.core.rtoss import RTOSSPruner
+from repro.evaluation import (
+    DetectorEvaluator,
+    compare_frameworks,
+    default_framework_suite,
+    format_comparison,
+    format_table,
+)
+from repro.evaluation.accuracy_proxy import BASELINE_MAP
+from repro.experiments.motivation import census_for_model
+from repro.models import available_models, build_model
+from repro.nn.tensor import Tensor
+from repro.pruning import (
+    FilterPruner,
+    MagnitudePruner,
+    NetworkSlimmingPruner,
+    NeuralPruner,
+    PatDNNPruner,
+)
+from repro.utils.serialization import save_state_dict
+
+FRAMEWORKS = {
+    "rtoss-2ep": lambda: RTOSSPruner(RTOSSConfig(entries=2)),
+    "rtoss-3ep": lambda: RTOSSPruner(RTOSSConfig(entries=3)),
+    "rtoss-4ep": lambda: RTOSSPruner(RTOSSConfig(entries=4)),
+    "rtoss-5ep": lambda: RTOSSPruner(RTOSSConfig(entries=5)),
+    "pd": lambda: PatDNNPruner(),
+    "nms": lambda: MagnitudePruner(0.6),
+    "ns": lambda: NetworkSlimmingPruner(0.4),
+    "pf": lambda: FilterPruner(0.4),
+    "np": lambda: NeuralPruner(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    prune = sub.add_parser("prune", help="prune a model and print the report")
+    prune.add_argument("--model", default="yolov5s", help="registry model name")
+    prune.add_argument("--framework", default="rtoss-3ep", choices=sorted(FRAMEWORKS))
+    prune.add_argument("--classes", type=int, default=3)
+    prune.add_argument("--trace-size", type=int, default=64,
+                       help="input resolution used to trace the graph for Algorithm 1")
+    prune.add_argument("--save", default=None, help="path to save the pruned state dict")
+    prune.add_argument("--per-layer", action="store_true", help="print the per-layer table")
+
+    census = sub.add_parser("census", help="kernel-size census of a model")
+    census.add_argument("--model", default="yolov5s")
+
+    compare = sub.add_parser("compare", help="framework comparison (Figs. 4-7)")
+    compare.add_argument("--model", default="yolov5s")
+    compare.add_argument("--image-size", type=int, default=640)
+
+    sub.add_parser("models", help="list available models")
+    return parser
+
+
+def _cmd_models() -> int:
+    rows = []
+    for name in available_models():
+        try:
+            model = build_model(name)
+        except Exception as error:  # pragma: no cover - defensive
+            rows.append({"model": name, "parameters (M)": f"error: {error}"})
+            continue
+        rows.append({"model": name, "parameters (M)": round(model.num_parameters() / 1e6, 3)})
+    print(format_table(rows, title="Registered models"))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    model = build_model(args.model)
+    census = census_for_model(model, args.model)
+    print(format_table([census.as_dict()], title=f"Kernel census of {args.model}"))
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    model = build_model(args.model, num_classes=args.classes) \
+        if args.model not in ("retinanet_lite", "detr_lite") else build_model(args.model)
+    example = Tensor(np.zeros((1, 3, args.trace_size, args.trace_size), dtype=np.float32))
+    pruner = FRAMEWORKS[args.framework]()
+    report = pruner.prune(model, example, args.model)
+    if args.per_layer:
+        print(report.to_table())
+    print(format_table([report.summary()], title=f"{args.framework} on {args.model}"))
+    if args.save:
+        path = save_state_dict(model.state_dict(), args.save)
+        print(f"pruned state dict written to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline_map = BASELINE_MAP.get(args.model, 60.0)
+    evaluator = DetectorEvaluator(lambda: build_model(args.model), args.model, baseline_map,
+                                  image_size=args.image_size, probe_size=64)
+    results = compare_frameworks(evaluator, default_framework_suite())
+    print(format_comparison(
+        results,
+        metrics=("compression_ratio", "mAP", "speedup[Jetson TX2]",
+                 "energy_reduction_%[Jetson TX2]"),
+        title=f"Framework comparison on {args.model}",
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "census":
+        return _cmd_census(args)
+    if args.command == "prune":
+        return _cmd_prune(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Complementary model-compression techniques.
+
+The paper motivates pruning over quantization and knowledge distillation (Section II)
+but treats them as complementary.  This package provides a post-training quantization
+implementation so the "pruning + quantization" combination the paper alludes to can
+be studied with the same evaluation pipeline.
+"""
+
+from repro.compression.quantization import (
+    QuantizationReport,
+    QuantizedTensor,
+    dequantize_tensor,
+    quantize_model,
+    quantize_tensor,
+    quantized_model_bytes,
+)
+
+__all__ = [
+    "QuantizationReport",
+    "QuantizedTensor",
+    "dequantize_tensor",
+    "quantize_model",
+    "quantize_tensor",
+    "quantized_model_bytes",
+]

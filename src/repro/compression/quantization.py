@@ -1,0 +1,139 @@
+"""Post-training weight quantization (int8 / int4), combinable with pruning.
+
+Section II of the paper contrasts pruning with quantization ("requires specialized
+hardware support") and the two are routinely combined in deployment flows
+(e.g. TensorRT after pruning).  This module implements symmetric per-channel
+post-training quantization of convolution and linear weights so that:
+
+* the storage benefit of *pruning + quantization* can be accounted for exactly,
+* the de-quantised weights can be written back into the model to measure (on the
+  TinyDetector) or estimate (on the full-size models) the accuracy impact,
+* sparsity is preserved: pruned (zero) weights quantise to exactly zero, so masks
+  remain valid after quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.module import Module
+
+
+@dataclass
+class QuantizedTensor:
+    """A symmetric, per-output-channel quantised weight tensor."""
+
+    values: np.ndarray            # integer codes, same shape as the original weights
+    scales: np.ndarray            # (out_channels,) float32 scale per output channel
+    bits: int
+    original_shape: Tuple[int, ...]
+
+    @property
+    def num_values(self) -> int:
+        return int(self.values.size)
+
+    def storage_bytes(self, count_zeros: bool = True) -> float:
+        """Storage of the integer codes plus the per-channel scales.
+
+        With ``count_zeros=False`` only non-zero codes are counted — the estimate for
+        a sparse storage format that skips pruned weights.
+        """
+        stored = self.num_values if count_zeros else int(np.count_nonzero(self.values))
+        return stored * self.bits / 8.0 + self.scales.size * 4.0
+
+
+def quantize_tensor(weights: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-output-channel quantization of a weight tensor.
+
+    ``weights`` is (out_channels, ...) — the first axis is treated as the channel
+    axis, matching conv (O, I, kh, kw) and linear (out, in) layouts.
+    """
+    if bits not in (4, 8, 16):
+        raise ValueError(f"supported bit widths are 4, 8 and 16, got {bits}")
+    weights = np.asarray(weights, dtype=np.float32)
+    out_channels = weights.shape[0]
+    flat = weights.reshape(out_channels, -1)
+    max_code = 2 ** (bits - 1) - 1
+    max_abs = np.abs(flat).max(axis=1)
+    scales = np.where(max_abs > 0, max_abs / max_code, 1.0).astype(np.float32)
+    codes = np.clip(np.round(flat / scales[:, None]), -max_code - 1, max_code)
+    return QuantizedTensor(codes.reshape(weights.shape).astype(np.int32), scales, bits,
+                           weights.shape)
+
+
+def dequantize_tensor(quantized: QuantizedTensor) -> np.ndarray:
+    """Reconstruct float32 weights from a :class:`QuantizedTensor`."""
+    out_channels = quantized.original_shape[0]
+    flat = quantized.values.reshape(out_channels, -1).astype(np.float32)
+    restored = flat * quantized.scales[:, None]
+    return restored.reshape(quantized.original_shape).astype(np.float32)
+
+
+@dataclass
+class QuantizationReport:
+    """Outcome of quantising a model's weights."""
+
+    bits: int
+    layers: Dict[str, QuantizedTensor] = field(default_factory=dict)
+    float_bytes: float = 0.0
+    quantized_bytes: float = 0.0
+    max_absolute_error: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.float_bytes / max(self.quantized_bytes, 1.0)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+
+def quantize_model(model: Module, bits: int = 8, apply: bool = True,
+                   skip_names: Tuple[str, ...] = ()) -> QuantizationReport:
+    """Quantise every Conv2d / Linear weight of ``model``.
+
+    With ``apply=True`` the de-quantised weights are written back into the model, so
+    the accuracy impact of quantization can be measured with the normal evaluation
+    pipeline; pruned (zero) weights stay exactly zero either way.
+    """
+    report = QuantizationReport(bits=bits)
+    for name, module in model.named_modules():
+        if not isinstance(module, (Conv2d, Linear)):
+            continue
+        if any(tag in name for tag in skip_names):
+            continue
+        weights = module.weight.data
+        quantized = quantize_tensor(weights, bits)
+        restored = dequantize_tensor(quantized)
+        report.layers[name] = quantized
+        report.float_bytes += weights.size * 4.0
+        report.quantized_bytes += quantized.storage_bytes()
+        report.max_absolute_error = max(report.max_absolute_error,
+                                        float(np.abs(restored - weights).max()))
+        if apply:
+            module.weight.data[...] = restored
+    return report
+
+
+def quantized_model_bytes(model: Module, report: QuantizationReport,
+                          count_zeros: bool = False) -> float:
+    """Total storage of a pruned **and** quantised model.
+
+    Non-quantised parameters (biases, BatchNorm affine parameters) are counted at
+    float32; quantised layers use their integer-code footprint, optionally skipping
+    pruned zeros (the pruning + quantization deployment format).
+    """
+    quantized_params = set()
+    total = 0.0
+    for name, quantized in report.layers.items():
+        total += quantized.storage_bytes(count_zeros=count_zeros)
+        quantized_params.add(f"{name}.weight")
+    for name, param in model.named_parameters():
+        if name not in quantized_params:
+            total += param.size * 4.0
+    return total

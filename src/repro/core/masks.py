@@ -1,0 +1,148 @@
+"""Pruning masks: the common currency of every pruner in the library.
+
+A pruner never mutates weights directly; it produces a :class:`MaskSet` whose
+binary masks are then applied to the model.  This keeps three things possible:
+
+* fine-tuning with pruned weights pinned at zero (re-apply the mask after every
+  optimiser step),
+* exact sparsity / compression accounting in :mod:`repro.hardware`,
+* ablations that compare mask choices without re-running the pruner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+@dataclass
+class PruningMask:
+    """A binary keep-mask for one parameter of one layer."""
+
+    layer_name: str
+    parameter_name: str
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.mask = np.asarray(self.mask, dtype=np.float32)
+        unique = np.unique(self.mask)
+        if not np.all(np.isin(unique, [0.0, 1.0])):
+            raise ValueError("pruning masks must be binary (0/1)")
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.layer_name}.{self.parameter_name}"
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of pruned (zeroed) entries."""
+        return float(1.0 - self.mask.mean()) if self.mask.size else 0.0
+
+    @property
+    def kept(self) -> int:
+        return int(self.mask.sum())
+
+    @property
+    def total(self) -> int:
+        return int(self.mask.size)
+
+
+class MaskSet:
+    """Collection of pruning masks for a model."""
+
+    def __init__(self, masks: Optional[List[PruningMask]] = None) -> None:
+        self._masks: Dict[str, PruningMask] = {}
+        for mask in masks or []:
+            self.add(mask)
+
+    # ------------------------------------------------------------------ container
+    def add(self, mask: PruningMask) -> None:
+        existing = self._masks.get(mask.full_name)
+        if existing is not None:
+            # Intersect with any previously registered mask for the same parameter.
+            if existing.mask.shape != mask.mask.shape:
+                raise ValueError(f"conflicting mask shapes for {mask.full_name}")
+            mask = PruningMask(mask.layer_name, mask.parameter_name,
+                               existing.mask * mask.mask)
+        self._masks[mask.full_name] = mask
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self) -> Iterator[PruningMask]:
+        return iter(self._masks.values())
+
+    def __contains__(self, full_name: str) -> bool:
+        return full_name in self._masks
+
+    def get(self, full_name: str) -> Optional[PruningMask]:
+        return self._masks.get(full_name)
+
+    def merge(self, other: "MaskSet") -> "MaskSet":
+        """Combine two mask sets (intersecting masks on shared parameters)."""
+        merged = MaskSet(list(self))
+        for mask in other:
+            merged.add(mask)
+        return merged
+
+    # ------------------------------------------------------------------ application
+    def apply(self, model: Module) -> None:
+        """Zero the masked weights of ``model`` and remember the masks on each layer."""
+        modules = dict(model.named_modules())
+        for mask in self:
+            module = modules.get(mask.layer_name)
+            if module is None:
+                raise KeyError(f"model has no module named {mask.layer_name!r}")
+            param = getattr(module, mask.parameter_name, None)
+            if param is None:
+                raise KeyError(f"{mask.layer_name} has no parameter {mask.parameter_name!r}")
+            if param.data.shape != mask.mask.shape:
+                raise ValueError(
+                    f"mask shape {mask.mask.shape} does not match parameter "
+                    f"{mask.full_name} of shape {param.data.shape}"
+                )
+            param.data *= mask.mask
+            if hasattr(module, "pruning_masks"):
+                module.pruning_masks[mask.parameter_name] = mask.mask
+
+    def reapply(self, model: Module) -> None:
+        """Re-zero masked weights (call after every fine-tuning optimiser step)."""
+        self.apply(model)
+
+    # ------------------------------------------------------------------ statistics
+    def masked_parameters(self) -> int:
+        return sum(mask.total for mask in self)
+
+    def pruned_parameters(self) -> int:
+        return sum(mask.total - mask.kept for mask in self)
+
+    def sparsity_by_layer(self) -> Dict[str, float]:
+        return {mask.full_name: mask.sparsity for mask in self}
+
+    def overall_sparsity(self) -> float:
+        """Sparsity over the masked parameters only."""
+        total = self.masked_parameters()
+        if total == 0:
+            return 0.0
+        return self.pruned_parameters() / total
+
+    def model_sparsity(self, model: Module) -> float:
+        """Sparsity over *all* model parameters (unmasked parameters count as dense)."""
+        total = model.num_parameters()
+        if total == 0:
+            return 0.0
+        return self.pruned_parameters() / total
+
+    def compression_ratio(self, model: Module) -> float:
+        """Dense-parameter to kept-parameter ratio of the whole model.
+
+        This is the "compression rate" the paper reports (e.g. 4.4x for R-TOSS-2EP on
+        YOLOv5s): total parameters divided by the parameters that remain non-zero.
+        """
+        total = model.num_parameters()
+        kept = total - self.pruned_parameters()
+        return total / max(kept, 1)

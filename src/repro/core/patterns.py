@@ -1,0 +1,212 @@
+"""Kernel-pattern generation and selection (paper Section IV.B, Eq. 1, Fig. 3).
+
+A *pattern* is a set of k positions of a 3x3 kernel whose weights are kept; the
+remaining 9-k weights are pruned.  R-TOSS proposes 3-entry (3EP) and 2-entry (2EP)
+patterns; the 4-entry patterns (4EP) of PATDNN and 5-entry patterns (5EP) are also
+provided for the sensitivity study of Table 3.
+
+Pattern selection follows the paper:
+
+1. enumerate all C(9, k) candidate masks (Eq. 1),
+2. drop every mask whose kept positions are not mutually adjacent (this keeps the
+   patterns "semi-structured" and hardware friendly),
+3. rank the surviving masks by how often they win the per-kernel L2-norm criterion
+   over random kernels initialised uniformly in [-1, 1], and keep the most used
+   ones (the paper converges on 21 patterns across its pattern groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from math import comb
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+KERNEL_SIDE = 3
+KERNEL_CELLS = KERNEL_SIDE * KERNEL_SIDE
+
+# Default library size: the paper reports that 21 pre-defined patterns suffice.
+DEFAULT_LIBRARY_SIZE = 21
+
+
+def num_candidate_patterns(entries: int, cells: int = KERNEL_CELLS) -> int:
+    """Eq. (1): number of k-entry masks over an n-cell kernel, C(n, k)."""
+    if not 1 <= entries <= cells - 1:
+        raise ValueError(f"entries must be in [1, {cells - 1}], got {entries}")
+    return comb(cells, entries)
+
+
+@dataclass(frozen=True)
+class KernelPattern:
+    """One kernel pattern: the kept positions of a 3x3 kernel."""
+
+    positions: Tuple[Tuple[int, int], ...]
+
+    @property
+    def entries(self) -> int:
+        return len(self.positions)
+
+    def mask(self) -> np.ndarray:
+        """(3, 3) float mask with 1.0 at kept positions."""
+        mask = np.zeros((KERNEL_SIDE, KERNEL_SIDE), dtype=np.float32)
+        for row, col in self.positions:
+            mask[row, col] = 1.0
+        return mask
+
+    def flat_mask(self) -> np.ndarray:
+        """(9,) flattened mask."""
+        return self.mask().reshape(-1)
+
+    def is_connected(self) -> bool:
+        """True when every kept position touches another kept position (4-adjacency).
+
+        Single-entry patterns are considered connected by convention.
+        """
+        if len(self.positions) <= 1:
+            return True
+        cells = set(self.positions)
+        # Flood fill from an arbitrary kept cell.
+        stack = [next(iter(cells))]
+        seen = set()
+        while stack:
+            row, col = stack.pop()
+            if (row, col) in seen:
+                continue
+            seen.add((row, col))
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                neighbour = (row + dr, col + dc)
+                if neighbour in cells and neighbour not in seen:
+                    stack.append(neighbour)
+        return seen == cells
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        rows = []
+        mask = self.mask()
+        for row in mask:
+            rows.append("".join("X" if v else "." for v in row))
+        return "\n".join(rows)
+
+
+def enumerate_patterns(entries: int) -> List[KernelPattern]:
+    """All C(9, k) candidate patterns with ``entries`` kept weights (Eq. 1)."""
+    cells = [(r, c) for r in range(KERNEL_SIDE) for c in range(KERNEL_SIDE)]
+    patterns = []
+    for kept in combinations(cells, entries):
+        patterns.append(KernelPattern(tuple(kept)))
+    return patterns
+
+
+def connected_patterns(entries: int) -> List[KernelPattern]:
+    """Candidate patterns whose kept weights are mutually adjacent (criterion 1)."""
+    return [p for p in enumerate_patterns(entries) if p.is_connected()]
+
+
+@dataclass
+class PatternLibrary:
+    """A fixed set of patterns used to prune every kernel of a model.
+
+    Attributes
+    ----------
+    entries:
+        Number of kept weights per kernel (2 for 2EP, 3 for 3EP, ...).
+    patterns:
+        The selected :class:`KernelPattern` objects.
+    usage_counts:
+        How often each pattern won the L2 criterion during calibration (informational).
+    """
+
+    entries: int
+    patterns: List[KernelPattern]
+    usage_counts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValueError("a pattern library cannot be empty")
+        for pattern in self.patterns:
+            if pattern.entries != self.entries:
+                raise ValueError(
+                    f"pattern {pattern.positions} has {pattern.entries} entries, "
+                    f"library expects {self.entries}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def __getitem__(self, index: int) -> KernelPattern:
+        return self.patterns[index]
+
+    def mask_matrix(self) -> np.ndarray:
+        """(num_patterns, 9) matrix of flattened masks — used by the vectorised
+        pattern assignment in :mod:`repro.core.kernel_pruning`."""
+        return np.stack([p.flat_mask() for p in self.patterns])
+
+    def subset(self, indices: Sequence[int]) -> "PatternLibrary":
+        """A library restricted to the given pattern indices (parent→child sharing)."""
+        indices = sorted(set(int(i) for i in indices))
+        if not indices:
+            raise ValueError("cannot build an empty pattern subset")
+        return PatternLibrary(self.entries, [self.patterns[i] for i in indices])
+
+    @property
+    def keep_fraction(self) -> float:
+        """Fraction of weights a kernel keeps under this library (k / 9)."""
+        return self.entries / KERNEL_CELLS
+
+
+def build_pattern_library(
+    entries: int,
+    max_patterns: Optional[int] = DEFAULT_LIBRARY_SIZE,
+    calibration_kernels: int = 2000,
+    seed: int = 0,
+) -> PatternLibrary:
+    """Build the pattern library for a given entry count (Section IV.B).
+
+    Parameters
+    ----------
+    entries:
+        Non-zero weights kept per kernel (2, 3, 4 or 5 in the paper).
+    max_patterns:
+        Keep at most this many patterns, ranked by how often they are the best
+        (highest retained L2 norm) pattern for random kernels in [-1, 1].  ``None``
+        keeps every connected pattern.
+    calibration_kernels:
+        Number of random kernels used for the usage ranking.
+    seed:
+        Seed of the calibration random stream.
+    """
+    candidates = connected_patterns(entries)
+    if not candidates:
+        raise ValueError(f"no connected pattern exists with {entries} entries")
+
+    rng = spawn_rng("pattern-calibration", seed)
+    kernels = rng.uniform(-1.0, 1.0, size=(calibration_kernels, KERNEL_CELLS)).astype(np.float32)
+    masks = np.stack([p.flat_mask() for p in candidates])          # (P, 9)
+    retained = (kernels**2) @ masks.T                               # (N, P) retained energy
+    winners = retained.argmax(axis=1)
+    counts = np.bincount(winners, minlength=len(candidates))
+
+    order = np.argsort(counts)[::-1]
+    if max_patterns is not None:
+        order = order[:max_patterns]
+    # Preserve a deterministic ordering: most-used first.
+    selected = [candidates[i] for i in order]
+    usage = [int(counts[i]) for i in order]
+    return PatternLibrary(entries, selected, usage)
+
+
+def standard_libraries(max_patterns: Optional[int] = DEFAULT_LIBRARY_SIZE,
+                       seed: int = 0) -> Dict[str, PatternLibrary]:
+    """The four libraries of the sensitivity study (Table 3): 2EP, 3EP, 4EP, 5EP."""
+    return {
+        "2EP": build_pattern_library(2, max_patterns, seed=seed),
+        "3EP": build_pattern_library(3, max_patterns, seed=seed),
+        "4EP": build_pattern_library(4, max_patterns, seed=seed),
+        "5EP": build_pattern_library(5, max_patterns, seed=seed),
+    }

@@ -1,0 +1,116 @@
+"""Dataset views and batching.
+
+``DetectionDataset`` wraps a scene source (synthetic KITTI or synthetic COCO) plus an
+index subset and an optional augmentation; ``DataLoader`` batches scenes into the
+dense arrays the training loop consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.synthetic_kitti import Scene
+from repro.detection.metrics import GroundTruth
+
+
+@dataclass
+class Batch:
+    """A batch of scenes ready for the detector.
+
+    Attributes
+    ----------
+    images: (B, C, H, W) float32 array.
+    boxes: list of per-image (N_i, 4) cxcywh arrays.
+    class_ids: list of per-image (N_i,) integer arrays.
+    image_ids: original dataset indices of the scenes.
+    """
+
+    images: np.ndarray
+    boxes: List[np.ndarray]
+    class_ids: List[np.ndarray]
+    image_ids: List[int]
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+
+class DetectionDataset:
+    """Index-subset view over a scene source with optional augmentation."""
+
+    def __init__(
+        self,
+        source,
+        indices: Optional[Sequence[int]] = None,
+        augmentation: Optional[Callable[[Scene], Scene]] = None,
+    ) -> None:
+        self.source = source
+        self.indices = list(indices) if indices is not None else list(range(len(source)))
+        self.augmentation = augmentation
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, position: int) -> Scene:
+        scene = self.source[self.indices[position]]
+        if self.augmentation is not None:
+            scene = self.augmentation(scene)
+        return scene
+
+    def ground_truths(self) -> List[GroundTruth]:
+        """All ground-truth boxes of the (un-augmented) subset, for mAP evaluation."""
+        records: List[GroundTruth] = []
+        for position in range(len(self)):
+            scene = self.source[self.indices[position]]
+            for obj, box in zip(scene.objects, scene.boxes_xyxy):
+                records.append(GroundTruth(box, obj.class_id, image_id=scene.image_id))
+        return records
+
+
+class DataLoader:
+    """Minimal batching iterator (sequential or shuffled)."""
+
+    def __init__(self, dataset: DetectionDataset, batch_size: int = 8,
+                 shuffle: bool = False, seed: int = 0, drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+        self.drop_last = bool(drop_last)
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + self._epoch)
+            rng.shuffle(order)
+        self._epoch += 1
+
+        for start in range(0, len(order), self.batch_size):
+            positions = order[start:start + self.batch_size]
+            if self.drop_last and positions.size < self.batch_size:
+                break
+            scenes = [self.dataset[int(p)] for p in positions]
+            yield collate(scenes)
+
+
+def collate(scenes: Sequence[Scene]) -> Batch:
+    """Stack scenes into a dense batch (all scenes must share a resolution)."""
+    shapes = {scene.image.shape for scene in scenes}
+    if len(shapes) != 1:
+        raise ValueError(f"cannot collate scenes with mixed shapes: {shapes}")
+    images = np.stack([scene.image for scene in scenes]).astype(np.float32)
+    boxes = [scene.boxes_cxcywh for scene in scenes]
+    class_ids = [scene.class_ids for scene in scenes]
+    image_ids = [scene.image_id for scene in scenes]
+    return Batch(images, boxes, class_ids, image_ids)

@@ -1,0 +1,93 @@
+"""KITTI label-format I/O.
+
+KITTI stores one text file per image, one object per line:
+
+``type truncated occluded alpha x1 y1 x2 y2 h3d w3d l3d x3d y3d z3d ry [score]``
+
+Only the fields relevant to 2-D detection (type and the 2-D box) carry real
+information here; the 3-D fields are written as zeros, exactly like most 2-D
+detection exports of KITTI.  Having real format converters lets the examples dump
+the synthetic dataset to disk in a form any KITTI tool can read.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.synthetic_kitti import KITTI_CLASSES, Scene
+
+
+@dataclass
+class KittiLabel:
+    """One KITTI label line (2-D subset)."""
+
+    object_type: str
+    truncated: float
+    occluded: int
+    alpha: float
+    box: np.ndarray        # xyxy
+    score: float | None = None
+
+    def to_line(self) -> str:
+        x1, y1, x2, y2 = [float(v) for v in self.box]
+        fields = [
+            self.object_type,
+            f"{self.truncated:.2f}",
+            str(int(self.occluded)),
+            f"{self.alpha:.2f}",
+            f"{x1:.2f}", f"{y1:.2f}", f"{x2:.2f}", f"{y2:.2f}",
+            "0.00", "0.00", "0.00", "0.00", "0.00", "0.00", "0.00",
+        ]
+        if self.score is not None:
+            fields.append(f"{self.score:.4f}")
+        return " ".join(fields)
+
+    @classmethod
+    def from_line(cls, line: str) -> "KittiLabel":
+        parts = line.strip().split()
+        if len(parts) < 15:
+            raise ValueError(f"malformed KITTI label line: {line!r}")
+        box = np.asarray([float(parts[4]), float(parts[5]), float(parts[6]), float(parts[7])],
+                         dtype=np.float32)
+        score = float(parts[15]) if len(parts) > 15 else None
+        return cls(parts[0], float(parts[1]), int(float(parts[2])), float(parts[3]), box, score)
+
+
+def scene_to_labels(scene: Scene, class_names: Sequence[str] = KITTI_CLASSES) -> List[KittiLabel]:
+    """Convert a synthetic scene's ground truth to KITTI labels."""
+    labels = []
+    for obj, box in zip(scene.objects, scene.boxes_xyxy):
+        labels.append(KittiLabel(class_names[obj.class_id], 0.0, 0, 0.0, box))
+    return labels
+
+
+def write_label_file(labels: Sequence[KittiLabel], path: str) -> str:
+    """Write labels to a KITTI ``.txt`` file; returns the path."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf8") as handle:
+        for label in labels:
+            handle.write(label.to_line() + "\n")
+    return path
+
+
+def read_label_file(path: str) -> List[KittiLabel]:
+    """Parse a KITTI label file."""
+    labels = []
+    with open(path, "r", encoding="utf8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                labels.append(KittiLabel.from_line(line))
+    return labels
+
+
+def class_id_for(object_type: str, class_names: Sequence[str] = KITTI_CLASSES) -> int:
+    """Map a KITTI type string back to the dataset's integer class id."""
+    try:
+        return list(class_names).index(object_type)
+    except ValueError as exc:
+        raise KeyError(f"unknown KITTI object type {object_type!r}") from exc

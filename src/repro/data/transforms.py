@@ -1,0 +1,100 @@
+"""Image / target transforms for training and inference.
+
+The paper uses 640x640 inputs; the synthetic datasets default to much smaller
+resolutions so the examples and tests stay fast, but every transform is
+resolution-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.synthetic_kitti import Scene, SceneObject
+
+
+def normalize(image: np.ndarray, mean: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+              std: Tuple[float, float, float] = (1.0, 1.0, 1.0)) -> np.ndarray:
+    """Channel-wise normalisation of a (C, H, W) image."""
+    mean_arr = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+    std_arr = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+    return (image - mean_arr) / std_arr
+
+
+def resize_nearest(image: np.ndarray, output_size: int) -> np.ndarray:
+    """Nearest-neighbour resize of a (C, H, W) image to a square output."""
+    channels, height, width = image.shape
+    rows = (np.arange(output_size) * height / output_size).astype(np.int64)
+    cols = (np.arange(output_size) * width / output_size).astype(np.int64)
+    return image[:, rows[:, None], cols[None, :]]
+
+
+def letterbox(image: np.ndarray, output_size: int,
+              fill_value: float = 0.5) -> Tuple[np.ndarray, float, Tuple[int, int]]:
+    """Resize keeping aspect ratio and pad to a square (YOLO-style letterbox).
+
+    Returns (padded image, scale factor, (pad_top, pad_left)) so boxes can be mapped.
+    """
+    channels, height, width = image.shape
+    scale = output_size / max(height, width)
+    new_h, new_w = int(round(height * scale)), int(round(width * scale))
+    rows = (np.arange(new_h) / scale).astype(np.int64).clip(0, height - 1)
+    cols = (np.arange(new_w) / scale).astype(np.int64).clip(0, width - 1)
+    resized = image[:, rows[:, None], cols[None, :]]
+    canvas = np.full((channels, output_size, output_size), fill_value, dtype=np.float32)
+    pad_top = (output_size - new_h) // 2
+    pad_left = (output_size - new_w) // 2
+    canvas[:, pad_top:pad_top + new_h, pad_left:pad_left + new_w] = resized
+    return canvas, scale, (pad_top, pad_left)
+
+
+def apply_letterbox_to_boxes(boxes_cxcywh: np.ndarray, scale: float,
+                             pad: Tuple[int, int]) -> np.ndarray:
+    """Map cxcywh boxes through the letterbox transform."""
+    boxes = np.asarray(boxes_cxcywh, dtype=np.float32).copy()
+    if boxes.size == 0:
+        return boxes.reshape(0, 4)
+    pad_top, pad_left = pad
+    boxes[:, 0] = boxes[:, 0] * scale + pad_left
+    boxes[:, 1] = boxes[:, 1] * scale + pad_top
+    boxes[:, 2] *= scale
+    boxes[:, 3] *= scale
+    return boxes
+
+
+def horizontal_flip(scene: Scene) -> Scene:
+    """Flip a scene (image and boxes) left-right — the basic YOLO augmentation."""
+    image = scene.image[:, :, ::-1].copy()
+    size = scene.image.shape[2]
+    objects = [
+        SceneObject(o.class_id, size - o.cx, o.cy, o.width, o.height)
+        for o in scene.objects
+    ]
+    return Scene(image, objects, scene.image_id)
+
+
+def color_jitter(scene: Scene, rng: np.random.Generator, strength: float = 0.1) -> Scene:
+    """Random brightness/contrast jitter ("bag of freebies"-style augmentation)."""
+    brightness = 1.0 + rng.uniform(-strength, strength)
+    contrast = 1.0 + rng.uniform(-strength, strength)
+    image = np.clip((scene.image - 0.5) * contrast + 0.5 * brightness, 0.0, 1.0)
+    return Scene(image.astype(np.float32), list(scene.objects), scene.image_id)
+
+
+@dataclass
+class TrainAugmentation:
+    """Composable augmentation pipeline used by the TinyDetector training example."""
+
+    flip_probability: float = 0.5
+    jitter_strength: float = 0.1
+    rng: Optional[np.random.Generator] = None
+
+    def __call__(self, scene: Scene) -> Scene:
+        rng = self.rng if self.rng is not None else np.random.default_rng(scene.image_id)
+        if rng.random() < self.flip_probability:
+            scene = horizontal_flip(scene)
+        if self.jitter_strength > 0:
+            scene = color_jitter(scene, rng, self.jitter_strength)
+        return scene

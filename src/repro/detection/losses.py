@@ -1,0 +1,125 @@
+"""Detection training losses.
+
+:class:`YoloLoss` follows the YOLOv3/v5 recipe (BCE objectness + BCE class +
+box regression) and is what the trainable TinyDetector uses end-to-end.
+:class:`RetinaLoss` is the focal-loss + smooth-L1 combination of the RetinaNet paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.detection.targets import RetinaTargets, YoloTargets
+from repro.nn import functional as F
+from repro.nn import losses as L
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class YoloLossWeights:
+    """Relative weighting of the three YOLO loss terms."""
+
+    box: float = 5.0
+    objectness: float = 1.0
+    classification: float = 1.0
+
+
+class YoloLoss:
+    """Single-scale YOLO loss.
+
+    The head output is expected as ``(B, A*(5+C), H, W)`` where for every anchor the
+    channels are ``(tx, ty, tw, th, objectness, class logits...)``.
+    """
+
+    def __init__(self, num_classes: int, num_anchors: int,
+                 weights: YoloLossWeights | None = None) -> None:
+        self.num_classes = int(num_classes)
+        self.num_anchors = int(num_anchors)
+        self.weights = weights or YoloLossWeights()
+
+    def __call__(self, prediction: Tensor, targets: YoloTargets) -> Dict[str, Tensor]:
+        batch, channels, height, width = prediction.shape
+        per_anchor = 5 + self.num_classes
+        if channels != self.num_anchors * per_anchor:
+            raise ValueError(
+                f"prediction has {channels} channels, expected "
+                f"{self.num_anchors}*(5+{self.num_classes})"
+            )
+        pred = prediction.reshape(batch, self.num_anchors, per_anchor, height, width)
+
+        obj_mask = Tensor(targets.objectness)                       # (B, A, H, W)
+        positives = max(targets.num_positives, 1)
+
+        # Box regression: sigmoid on the xy offsets, raw tw/th, masked MSE.
+        xy_pred = F.sigmoid(pred[:, :, 0:2])
+        wh_pred = pred[:, :, 2:4]
+        xy_target = Tensor(targets.box[:, :, 0:2])
+        wh_target = Tensor(targets.box[:, :, 2:4])
+        mask4 = Tensor(np.repeat(targets.objectness[:, :, None], 2, axis=2))
+        box_loss = (((xy_pred - xy_target) ** 2) * mask4).sum() / positives
+        box_loss = box_loss + (((wh_pred - wh_target) ** 2) * mask4).sum() / positives
+
+        # Objectness: BCE over every anchor.
+        obj_logits = pred[:, :, 4]
+        obj_loss = L.binary_cross_entropy_with_logits(obj_logits, obj_mask, reduction="mean")
+
+        # Classification: BCE only on positive cells.
+        cls_logits = pred[:, :, 5:]
+        cls_target = Tensor(targets.class_one_hot)
+        cls_mask = Tensor(np.repeat(targets.objectness[:, :, None], self.num_classes, axis=2))
+        cls_loss = (L.binary_cross_entropy_with_logits(cls_logits, cls_target, reduction="none")
+                    * cls_mask).sum() / positives
+
+        total = (
+            self.weights.box * box_loss
+            + self.weights.objectness * obj_loss
+            + self.weights.classification * cls_loss
+        )
+        return {"total": total, "box": box_loss, "objectness": obj_loss, "classification": cls_loss}
+
+
+class RetinaLoss:
+    """Focal classification loss + smooth-L1 box loss over dense anchors.
+
+    Expects flattened head outputs: class logits ``(B, N_anchors, C)`` and box deltas
+    ``(B, N_anchors, 4)``.
+    """
+
+    def __init__(self, num_classes: int, alpha: float = 0.25, gamma: float = 2.0,
+                 box_weight: float = 1.0) -> None:
+        self.num_classes = int(num_classes)
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+        self.box_weight = float(box_weight)
+
+    def __call__(self, class_logits: Tensor, box_regression: Tensor,
+                 targets: RetinaTargets) -> Dict[str, Tensor]:
+        batch, num_anchors, num_classes = class_logits.shape
+        if num_classes != self.num_classes:
+            raise ValueError(f"expected {self.num_classes} classes, got {num_classes}")
+
+        labels = targets.labels                       # (B, N)
+        valid = labels >= -1                          # ignore anchors labelled -2
+        positive = labels >= 0
+        num_positives = max(targets.num_positives, 1)
+
+        one_hot = np.zeros((batch, num_anchors, num_classes), dtype=np.float32)
+        b_idx, a_idx = np.where(positive)
+        one_hot[b_idx, a_idx, labels[positive]] = 1.0
+
+        focal = L.focal_loss(class_logits, Tensor(one_hot), alpha=self.alpha,
+                             gamma=self.gamma, reduction="none")
+        valid_mask = Tensor(np.repeat(valid[:, :, None], num_classes, axis=2).astype(np.float32))
+        cls_loss = (focal * valid_mask).sum() / num_positives
+
+        pos_mask = Tensor(np.repeat(positive[:, :, None], 4, axis=2).astype(np.float32))
+        diff = (box_regression - Tensor(targets.box_deltas)).abs()
+        below = Tensor((diff.data < 1.0).astype(np.float32))
+        huber = below * (diff * diff) * 0.5 + (1.0 - below) * (diff - 0.5)
+        box_loss = (huber * pos_mask).sum() / num_positives
+
+        total = cls_loss + self.box_weight * box_loss
+        return {"total": total, "classification": cls_loss, "box": box_loss}

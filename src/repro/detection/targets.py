@@ -1,0 +1,156 @@
+"""Training-target assignment for the detectors.
+
+Two assignment schemes are provided:
+
+* :func:`assign_yolo_targets` — grid-cell + best-anchor assignment used by the
+  YOLO-style heads (including the trainable TinyDetector).
+* :func:`assign_retinanet_targets` — IoU-based anchor assignment with the
+  positive/negative/ignore thresholds of the RetinaNet paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.detection.boxes import encode_boxes, iou_matrix
+
+
+@dataclass
+class YoloTargets:
+    """Dense training targets for a single YOLO detection scale.
+
+    Attributes
+    ----------
+    objectness: (B, A, H, W) {0, 1} — whether an object center falls in the cell.
+    box: (B, A, 4, H, W) — (tx, ty, tw, th) regression targets; only valid where
+        ``objectness`` is 1.
+    class_one_hot: (B, A, C, H, W) — one-hot class targets for positive cells.
+    num_positives: total count of positive anchors in the batch.
+    """
+
+    objectness: np.ndarray
+    box: np.ndarray
+    class_one_hot: np.ndarray
+    num_positives: int
+
+
+def assign_yolo_targets(
+    ground_truth_boxes: Sequence[np.ndarray],
+    ground_truth_classes: Sequence[np.ndarray],
+    image_size: int,
+    grid_size: int,
+    anchors: np.ndarray,
+    num_classes: int,
+) -> YoloTargets:
+    """Assign ground truth to a single-scale YOLO grid.
+
+    Parameters
+    ----------
+    ground_truth_boxes:
+        Per-image arrays of (N_i, 4) boxes in cxcywh pixel coordinates.
+    ground_truth_classes:
+        Per-image arrays of (N_i,) integer labels.
+    image_size:
+        Square input resolution in pixels.
+    grid_size:
+        Feature-map resolution of the detection head.
+    anchors:
+        (A, 2) anchor (width, height) in pixels.
+    num_classes:
+        Number of object classes.
+    """
+    batch = len(ground_truth_boxes)
+    anchors = np.asarray(anchors, dtype=np.float32).reshape(-1, 2)
+    num_anchors = anchors.shape[0]
+    stride = image_size / grid_size
+
+    objectness = np.zeros((batch, num_anchors, grid_size, grid_size), dtype=np.float32)
+    box = np.zeros((batch, num_anchors, 4, grid_size, grid_size), dtype=np.float32)
+    class_one_hot = np.zeros((batch, num_anchors, num_classes, grid_size, grid_size), dtype=np.float32)
+    num_positives = 0
+
+    for b in range(batch):
+        boxes_b = np.asarray(ground_truth_boxes[b], dtype=np.float32).reshape(-1, 4)
+        classes_b = np.asarray(ground_truth_classes[b], dtype=np.int64).reshape(-1)
+        for gt, cls in zip(boxes_b, classes_b):
+            cx, cy, w, h = gt
+            if w <= 1.0 or h <= 1.0:
+                continue
+            col = int(np.clip(cx / stride, 0, grid_size - 1))
+            row = int(np.clip(cy / stride, 0, grid_size - 1))
+            # Pick the anchor whose shape best matches the box (shape IoU).
+            inter = np.minimum(anchors[:, 0], w) * np.minimum(anchors[:, 1], h)
+            union = anchors[:, 0] * anchors[:, 1] + w * h - inter
+            anchor_idx = int((inter / np.maximum(union, 1e-9)).argmax())
+
+            objectness[b, anchor_idx, row, col] = 1.0
+            box[b, anchor_idx, 0, row, col] = cx / stride - col          # tx in [0, 1)
+            box[b, anchor_idx, 1, row, col] = cy / stride - row          # ty in [0, 1)
+            box[b, anchor_idx, 2, row, col] = np.log(w / anchors[anchor_idx, 0] + 1e-9)
+            box[b, anchor_idx, 3, row, col] = np.log(h / anchors[anchor_idx, 1] + 1e-9)
+            class_one_hot[b, anchor_idx, int(cls), row, col] = 1.0
+            num_positives += 1
+
+    return YoloTargets(objectness, box, class_one_hot, num_positives)
+
+
+@dataclass
+class RetinaTargets:
+    """Dense anchor targets for RetinaNet.
+
+    Attributes
+    ----------
+    labels: (B, N_anchors) int — class id for positives, -1 for negatives,
+        -2 for ignored anchors.
+    box_deltas: (B, N_anchors, 4) — encoded regression targets for positive anchors.
+    num_positives: total positive anchors in the batch.
+    """
+
+    labels: np.ndarray
+    box_deltas: np.ndarray
+    num_positives: int
+
+
+def assign_retinanet_targets(
+    ground_truth_boxes: Sequence[np.ndarray],
+    ground_truth_classes: Sequence[np.ndarray],
+    anchors: np.ndarray,
+    positive_iou: float = 0.5,
+    negative_iou: float = 0.4,
+) -> RetinaTargets:
+    """IoU-threshold anchor assignment (ground truth boxes in xyxy pixels)."""
+    batch = len(ground_truth_boxes)
+    anchors = np.asarray(anchors, dtype=np.float32).reshape(-1, 4)
+    num_anchors = anchors.shape[0]
+
+    labels = np.full((batch, num_anchors), -1, dtype=np.int64)
+    box_deltas = np.zeros((batch, num_anchors, 4), dtype=np.float32)
+    num_positives = 0
+
+    for b in range(batch):
+        gt_boxes = np.asarray(ground_truth_boxes[b], dtype=np.float32).reshape(-1, 4)
+        gt_classes = np.asarray(ground_truth_classes[b], dtype=np.int64).reshape(-1)
+        if gt_boxes.shape[0] == 0:
+            continue
+        ious = iou_matrix(anchors, gt_boxes)  # (A, G)
+        best_gt = ious.argmax(axis=1)
+        best_iou = ious.max(axis=1)
+
+        positive = best_iou >= positive_iou
+        ignore = (best_iou >= negative_iou) & ~positive
+        labels[b][ignore] = -2
+        labels[b][positive] = gt_classes[best_gt[positive]]
+
+        # Every ground truth gets at least its best-matching anchor.
+        force = ious.argmax(axis=0)
+        labels[b][force] = gt_classes
+        positive_idx = np.where(labels[b] >= 0)[0]
+        num_positives += positive_idx.size
+        if positive_idx.size:
+            matched = gt_boxes[ious[positive_idx].argmax(axis=1)]
+            box_deltas[b, positive_idx] = encode_boxes(matched, anchors[positive_idx])
+
+    return RetinaTargets(labels, box_deltas, num_positives)

@@ -1,0 +1,25 @@
+"""End-to-end evaluation: accuracy estimation, per-platform latency/energy, comparisons."""
+
+from repro.evaluation.accuracy_proxy import (
+    BASELINE_MAP,
+    AccuracyEstimate,
+    baseline_map_for,
+    estimate_pruned_map,
+)
+from repro.evaluation.comparison import (
+    PAPER_FRAMEWORK_ORDER,
+    compare_frameworks,
+    default_framework_suite,
+    normalised_metric,
+    results_by_framework,
+)
+from repro.evaluation.evaluator import DetectorEvaluator, FrameworkResult
+from repro.evaluation.tables import format_bar_chart, format_comparison, format_table
+
+__all__ = [
+    "BASELINE_MAP", "AccuracyEstimate", "baseline_map_for", "estimate_pruned_map",
+    "PAPER_FRAMEWORK_ORDER", "compare_frameworks", "default_framework_suite",
+    "normalised_metric", "results_by_framework",
+    "DetectorEvaluator", "FrameworkResult",
+    "format_bar_chart", "format_comparison", "format_table",
+]

@@ -1,0 +1,124 @@
+"""Ablation studies of the R-TOSS design choices (not in the paper, but they back
+its design arguments):
+
+* DFS grouping on/off — the paper's computational-cost argument for Algorithm 1,
+* 1x1 transformation on/off — how much of the sparsity comes from Algorithm 3,
+* connectivity pruning on/off — the accuracy argument of Section III,
+* vectorised vs reference (literal pseudo-code) pattern assignment — implementation
+  speed-up, results must be identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RTOSSConfig
+from repro.core.kernel_pruning import assign_patterns, assign_patterns_reference
+from repro.core.patterns import build_pattern_library
+from repro.core.rtoss import RTOSSPruner
+from repro.evaluation.accuracy_proxy import baseline_map_for, estimate_pruned_map
+from repro.models import yolov5s
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class AblationRow:
+    """One ablation configuration outcome."""
+
+    name: str
+    compression_ratio: float
+    sparsity: float
+    map_estimate: float
+    prune_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Configuration": self.name,
+            "Compression": round(self.compression_ratio, 2),
+            "Sparsity": round(self.sparsity, 4),
+            "mAP (est.)": round(self.map_estimate, 2),
+            "Prune time (s)": round(self.prune_seconds, 3),
+        }
+
+
+def _run_config(name: str, config: RTOSSConfig, trace_size: int = 64) -> AblationRow:
+    model = yolov5s()
+    example = Tensor(np.zeros((1, 3, trace_size, trace_size), dtype=np.float32))
+    start = time.perf_counter()
+    report = RTOSSPruner(config).prune(model, example, "yolov5s")
+    elapsed = time.perf_counter() - start
+    accuracy = estimate_pruned_map(report, baseline_map_for("yolov5s"))
+    return AblationRow(name, report.compression_ratio, report.overall_sparsity,
+                       accuracy.estimated_map, elapsed)
+
+
+def run_rtoss_ablation(entries: int = 3) -> List[AblationRow]:
+    """Run the four ablation configurations around the default R-TOSS setup."""
+    return [
+        _run_config("R-TOSS (default)", RTOSSConfig(entries=entries)),
+        _run_config("no DFS grouping", RTOSSConfig(entries=entries, use_dfs_grouping=False)),
+        _run_config("no 1x1 transformation", RTOSSConfig(entries=entries, prune_pointwise=False)),
+        _run_config("with connectivity pruning",
+                    RTOSSConfig(entries=entries, use_connectivity_pruning=True,
+                                connectivity_ratio=0.125)),
+    ]
+
+
+def ablation_checks(rows: List[AblationRow]) -> Dict[str, bool]:
+    by_name = {row.name: row for row in rows}
+    default = by_name["R-TOSS (default)"]
+    return {
+        # Algorithm 3 is where most of the sparsity on 1x1-dominated models comes from.
+        "pointwise_transform_contributes_sparsity": (
+            default.sparsity > by_name["no 1x1 transformation"].sparsity + 0.15
+        ),
+        # Connectivity pruning buys extra sparsity but costs estimated accuracy.
+        "connectivity_increases_sparsity": (
+            by_name["with connectivity pruning"].sparsity >= default.sparsity
+        ),
+        "connectivity_costs_accuracy": (
+            by_name["with connectivity pruning"].map_estimate <= default.map_estimate
+        ),
+        # DFS grouping must not change the achievable compression by much.
+        "grouping_keeps_compression": abs(
+            default.compression_ratio - by_name["no DFS grouping"].compression_ratio
+        ) < 0.5,
+    }
+
+
+@dataclass
+class VectorisationResult:
+    """Timing comparison of the vectorised vs literal Algorithm 2 implementation."""
+
+    kernels: int
+    reference_seconds: float
+    vectorised_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_seconds / max(self.vectorised_seconds, 1e-9)
+
+
+def run_vectorisation_ablation(out_channels: int = 64, in_channels: int = 32,
+                               entries: int = 3, seed: int = 0) -> VectorisationResult:
+    """Compare the two Algorithm 2 implementations on one realistic layer."""
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((out_channels, in_channels, 3, 3)).astype(np.float32)
+    library = build_pattern_library(entries)
+
+    start = time.perf_counter()
+    reference = assign_patterns_reference(weights, library)
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorised = assign_patterns(weights, library)
+    vectorised_seconds = time.perf_counter() - start
+
+    identical = bool(np.array_equal(reference.mask, vectorised.mask))
+    return VectorisationResult(out_channels * in_channels, reference_seconds,
+                               vectorised_seconds, identical)

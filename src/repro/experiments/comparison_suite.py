@@ -1,0 +1,50 @@
+"""Shared framework-comparison results for Figs. 4-7.
+
+Figures 4 (sparsity), 5 (mAP), 6 (speedup) and 7 (energy) all visualise the same
+underlying experiment: every pruning framework applied to YOLOv5s and RetinaNet.
+This module runs that experiment once per (model, resolution) and caches the result
+so the four figure drivers and their benchmarks do not recompute 36 M-parameter
+pruning runs four times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.evaluation.accuracy_proxy import baseline_map_for
+from repro.evaluation.comparison import compare_frameworks, default_framework_suite
+from repro.evaluation.evaluator import DetectorEvaluator, FrameworkResult
+from repro.experiments.table3 import RETINANET_DENSE_LAYERS
+from repro.models import retinanet_resnet50, yolov5s
+
+_CACHE: Dict[Tuple[str, int], List[FrameworkResult]] = {}
+
+
+def comparison_results(model_key: str = "yolov5s", image_size: int = 640,
+                       probe_size: int = 64, refresh: bool = False) -> List[FrameworkResult]:
+    """Framework-comparison results for one model (cached per process)."""
+    key = (model_key, image_size)
+    if not refresh and key in _CACHE:
+        return _CACHE[key]
+
+    if model_key == "yolov5s":
+        evaluator = DetectorEvaluator(lambda: yolov5s(), "yolov5s",
+                                      baseline_map_for("yolov5s"),
+                                      image_size=image_size, probe_size=probe_size)
+        suite = default_framework_suite()
+    elif model_key == "retinanet":
+        evaluator = DetectorEvaluator(lambda: retinanet_resnet50(), "retinanet",
+                                      baseline_map_for("retinanet"),
+                                      image_size=image_size, probe_size=probe_size)
+        suite = default_framework_suite(dense_layer_names=RETINANET_DENSE_LAYERS)
+    else:
+        raise KeyError(f"comparison suite covers 'yolov5s' and 'retinanet', not {model_key!r}")
+
+    results = compare_frameworks(evaluator, suite)
+    _CACHE[key] = results
+    return results
+
+
+def clear_cache() -> None:
+    """Drop all cached comparison results (used by tests)."""
+    _CACHE.clear()

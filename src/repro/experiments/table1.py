@@ -1,0 +1,79 @@
+"""Table 1: two-stage vs single-stage detector comparison.
+
+The paper's Table 1 quotes published COCO mAP and inference rate (fps) for R-CNN,
+Fast R-CNN, Faster R-CNN, RetinaNet, YOLOv4 and YOLOv5.  The reproduction reports,
+next to those reference numbers, the fps our hardware model predicts on a desktop
+GPU for every detector we can actually construct, so the qualitative claim of the
+table — single-stage detectors are one to four orders of magnitude faster — can be
+checked against our own substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.cost_model import profile_model
+from repro.hardware.latency import estimate_latency
+from repro.hardware.platform import RTX_2080TI, PlatformSpec
+from repro.models.model_zoo import TABLE1_REFERENCES, DetectorReference, build_reference_model
+
+
+@dataclass
+class Table1Row:
+    """One detector row of Table 1."""
+
+    name: str
+    detector_type: str
+    paper_map: float
+    paper_fps: float
+    measured_fps: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Name": self.name,
+            "Type": self.detector_type,
+            "mAP (paper, %)": self.paper_map,
+            "Inference rate (paper, fps)": self.paper_fps,
+            "Inference rate (our model, fps)": (
+                round(self.measured_fps, 1) if self.measured_fps is not None else "n/a"
+            ),
+        }
+
+
+def run_table1(platform: PlatformSpec = RTX_2080TI, image_size: int = 640,
+               probe_size: int = 64) -> List[Table1Row]:
+    """Regenerate Table 1 (reference numbers + our measured single-stage fps)."""
+    rows: List[Table1Row] = []
+    for reference in TABLE1_REFERENCES:
+        measured_fps = None
+        if reference.registry_name is not None:
+            model = build_reference_model(reference)
+            profile = profile_model(model, image_size, probe_size, model_name=reference.name)
+            latency = estimate_latency(profile, platform)
+            measured_fps = latency.fps
+        rows.append(Table1Row(
+            name=reference.name,
+            detector_type=reference.detector_type,
+            paper_map=reference.paper_map,
+            paper_fps=reference.paper_fps,
+            measured_fps=measured_fps,
+        ))
+    return rows
+
+
+def table1_checks(rows: List[Table1Row]) -> Dict[str, bool]:
+    """Qualitative claims of Table 1 that the reproduction asserts."""
+    by_name = {row.name: row for row in rows}
+    single_stage_fps = [r.paper_fps for r in rows if r.detector_type == "single-stage"]
+    two_stage_fps = [r.paper_fps for r in rows if r.detector_type == "two-stage"]
+    checks = {
+        "single_stage_faster_than_two_stage": min(single_stage_fps) > max(two_stage_fps),
+        "yolov5_fastest_reference": by_name["YOLOv5"].paper_fps == max(r.paper_fps for r in rows),
+    }
+    measured = [r for r in rows if r.measured_fps is not None]
+    if len(measured) >= 2:
+        yolo = by_name["YOLOv5"].measured_fps
+        retina = by_name["RetinaNet"].measured_fps
+        checks["measured_yolov5_faster_than_retinanet"] = yolo > retina
+    return checks

@@ -1,0 +1,73 @@
+"""Table 2: model size vs execution time on the Jetson TX2.
+
+For every detector listed in the paper's Table 2 (YOLOv5, YOLOX, RetinaNet, YOLOv7,
+YOLOR, DETR) the reproduction constructs the architecture, counts its parameters and
+estimates its dense 640x640 execution time on the Jetson TX2 platform model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.cost_model import profile_model
+from repro.hardware.latency import estimate_latency
+from repro.hardware.platform import JETSON_TX2, PlatformSpec
+from repro.models.model_zoo import TABLE2_REFERENCES, build_reference_model
+
+
+@dataclass
+class Table2Row:
+    """One model row of Table 2."""
+
+    name: str
+    paper_parameters_millions: float
+    paper_execution_seconds: float
+    measured_parameters_millions: float
+    measured_execution_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "Model": self.name,
+            "Params (paper, M)": self.paper_parameters_millions,
+            "Params (ours, M)": round(self.measured_parameters_millions, 2),
+            "Execution time (paper, s)": self.paper_execution_seconds,
+            "Execution time (ours, s)": round(self.measured_execution_seconds, 3),
+        }
+
+
+def run_table2(platform: PlatformSpec = JETSON_TX2, image_size: int = 640,
+               probe_size: int = 64) -> List[Table2Row]:
+    """Regenerate Table 2 from constructed models and the TX2 platform model."""
+    rows: List[Table2Row] = []
+    for reference in TABLE2_REFERENCES:
+        model = build_reference_model(reference)
+        profile = profile_model(model, image_size, probe_size, model_name=reference.name)
+        latency = estimate_latency(profile, platform)
+        rows.append(Table2Row(
+            name=reference.name,
+            paper_parameters_millions=reference.paper_parameters_millions,
+            paper_execution_seconds=reference.paper_tx2_execution_seconds,
+            measured_parameters_millions=model.num_parameters() / 1e6,
+            measured_execution_seconds=latency.total_seconds,
+        ))
+    return rows
+
+
+def table2_checks(rows: List[Table2Row]) -> Dict[str, bool]:
+    """Shape checks: parameter counts match the paper and latency grows with size."""
+    by_name = {row.name: row for row in rows}
+    checks = {}
+    for row in rows:
+        relative_error = abs(row.measured_parameters_millions - row.paper_parameters_millions)
+        relative_error /= row.paper_parameters_millions
+        checks[f"params_within_15pct[{row.name}]"] = relative_error < 0.15
+    checks["yolov5_is_fastest"] = by_name["YOLOv5"].measured_execution_seconds == min(
+        r.measured_execution_seconds for r in rows
+    )
+    big_models = [r for r in rows if r.paper_parameters_millions > 30]
+    checks["large_models_much_slower_than_yolov5"] = all(
+        r.measured_execution_seconds > 3 * by_name["YOLOv5"].measured_execution_seconds
+        for r in big_models
+    )
+    return checks

@@ -1,0 +1,219 @@
+"""Layer-level cost extraction: MACs, weight bytes and activation traffic.
+
+A model is *profiled* by running one forward pass at a small probe resolution with
+shape-recording hooks on every compute layer, then scaling the spatially dependent
+costs up to the target resolution.  This keeps profiling fast (numpy forward passes
+at 640x640 through a 36 M-parameter RetinaNet would take minutes) while remaining
+exact for the quantities that matter: convolution MACs scale with the square of the
+resolution ratio, weight sizes do not scale at all, and token-based layers (DETR)
+scale with the number of tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.attention import MultiHeadAttention
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d, LayerNorm
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+BYTES_PER_WEIGHT = 4  # float32 storage
+
+
+@dataclass
+class LayerCost:
+    """Static cost of one compute layer at the target resolution."""
+
+    name: str
+    layer_type: str
+    macs: float
+    weight_count: int
+    weight_bytes: float
+    activation_bytes: float
+    kernel_size: Tuple[int, int] = (0, 0)
+
+    def scaled(self, mac_factor: float) -> "LayerCost":
+        return LayerCost(
+            self.name, self.layer_type, self.macs * mac_factor, self.weight_count,
+            self.weight_bytes, self.activation_bytes * mac_factor, self.kernel_size,
+        )
+
+
+@dataclass
+class ModelCostProfile:
+    """All layer costs of a model at a given input resolution."""
+
+    model_name: str
+    image_size: int
+    layers: List[LayerCost] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> float:
+        return float(sum(layer.macs for layer in self.layers))
+
+    @property
+    def total_weight_bytes(self) -> float:
+        return float(sum(layer.weight_bytes for layer in self.layers))
+
+    @property
+    def total_activation_bytes(self) -> float:
+        return float(sum(layer.activation_bytes for layer in self.layers))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def by_name(self) -> Dict[str, LayerCost]:
+        return {layer.name: layer for layer in self.layers}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "model": self.model_name,
+            "image_size": self.image_size,
+            "gmacs": round(self.total_macs / 1e9, 2),
+            "weight_mbytes": round(self.total_weight_bytes / 1e6, 2),
+            "activation_mbytes": round(self.total_activation_bytes / 1e6, 2),
+            "num_compute_layers": self.num_layers,
+        }
+
+
+def _probe_input(model: Module, probe_size: int) -> Tensor:
+    return Tensor(np.zeros((1, 3, probe_size, probe_size), dtype=np.float32))
+
+
+def _profile_once(model: Module, probe_size: int) -> List[LayerCost]:
+    """Record raw (unscaled) layer costs for one forward pass at ``probe_size``."""
+    records: List[LayerCost] = []
+    removals = []
+    was_training = model.training
+
+    def make_hook(name: str):
+        def hook(mod: Module, inputs, output) -> None:
+            cost = _layer_cost(name, mod, inputs, output, scale=1.0)
+            if cost is not None:
+                records.append(cost)
+
+        return hook
+
+    try:
+        model.eval()
+        for name, module in model.named_modules():
+            if isinstance(module, (Conv2d, Linear, MultiHeadAttention, BatchNorm2d, LayerNorm)):
+                removals.append(module.register_forward_hook(make_hook(name)))
+        model(_probe_input(model, probe_size))
+    finally:
+        for remove in removals:
+            remove()
+        model.train(was_training)
+    return records
+
+
+def profile_model(model: Module, image_size: int, probe_size: int = 64,
+                  model_name: Optional[str] = None) -> ModelCostProfile:
+    """Profile a model's per-layer costs at ``image_size``.
+
+    The model is executed at two small probe resolutions; every layer's cost is fit
+    to a power law ``cost = c * (input_area) ** p`` from the two measurements and
+    extrapolated to ``image_size``.  This captures the different scaling behaviours
+    in one mechanism: convolutions and token-wise layers scale linearly with the
+    input area (p = 1), per-query layers do not scale (p = 0), and encoder
+    self-attention scales quadratically (p = 2).
+    """
+    if probe_size < 32:
+        raise ValueError("probe_size must be at least 32 to clear all the strides")
+    if image_size < probe_size:
+        raise ValueError("image_size must be >= probe_size")
+    second_probe = probe_size * 2
+    records_small = _profile_once(model, probe_size)
+    if image_size == probe_size:
+        return ModelCostProfile(model_name or type(model).__name__, image_size, records_small)
+    records_large = _profile_once(model, second_probe)
+    if len(records_small) != len(records_large):
+        raise RuntimeError("probe runs recorded different layer counts; model is input-dependent")
+
+    area_ratio = (second_probe / probe_size) ** 2
+    target_ratio = (image_size / probe_size) ** 2
+    scaled: List[LayerCost] = []
+    for small, large in zip(records_small, records_large):
+        if small.name != large.name:
+            raise RuntimeError(f"probe mismatch: {small.name} vs {large.name}")
+        scaled.append(LayerCost(
+            name=small.name,
+            layer_type=small.layer_type,
+            macs=_extrapolate(small.macs, large.macs, area_ratio, target_ratio),
+            weight_count=small.weight_count,
+            weight_bytes=small.weight_bytes,
+            activation_bytes=_extrapolate(small.activation_bytes, large.activation_bytes,
+                                          area_ratio, target_ratio),
+            kernel_size=small.kernel_size,
+        ))
+    return ModelCostProfile(model_name or type(model).__name__, image_size, scaled)
+
+
+def _extrapolate(value_small: float, value_large: float, area_ratio: float,
+                 target_ratio: float) -> float:
+    """Extrapolate a cost measured at two areas to the target area via a power law."""
+    if value_small <= 0:
+        return value_large * target_ratio / area_ratio if value_large > 0 else 0.0
+    exponent = np.log(max(value_large, 1e-12) / value_small) / np.log(area_ratio)
+    exponent = float(np.clip(exponent, 0.0, 2.5))
+    return float(value_small * target_ratio**exponent)
+
+
+def _first_tensor(inputs) -> Optional[Tensor]:
+    for item in inputs:
+        if isinstance(item, Tensor):
+            return item
+        if isinstance(item, (list, tuple)):
+            found = _first_tensor(item)
+            if found is not None:
+                return found
+    return None
+
+
+def _layer_cost(name: str, module: Module, inputs, output, scale: float) -> Optional[LayerCost]:
+    """Compute the cost record for one layer invocation."""
+    if isinstance(module, Conv2d):
+        out = output
+        batch, out_channels, out_h, out_w = out.shape
+        kh, kw = module.kernel_size
+        in_per_group = module.in_channels // module.groups
+        macs = out_h * out_w * out_channels * in_per_group * kh * kw * scale
+        weight_count = module.weight.size + (module.bias.size if module.bias is not None else 0)
+        activation_bytes = out.size * BYTES_PER_WEIGHT * scale
+        return LayerCost(name, "conv", float(macs), int(weight_count),
+                         weight_count * BYTES_PER_WEIGHT, float(activation_bytes), (kh, kw))
+
+    if isinstance(module, Linear):
+        out = output
+        tokens = int(np.prod(out.shape[:-1]))
+        macs = tokens * module.in_features * module.out_features * scale
+        weight_count = module.weight.size + (module.bias.size if module.bias is not None else 0)
+        activation_bytes = out.size * BYTES_PER_WEIGHT * scale
+        return LayerCost(name, "linear", float(macs), int(weight_count),
+                         weight_count * BYTES_PER_WEIGHT, float(activation_bytes))
+
+    if isinstance(module, MultiHeadAttention):
+        query = _first_tensor(inputs)
+        if query is None:
+            return None
+        batch, tokens, dim = query.shape
+        # Score and context matmuls: 2 * B * heads * T^2 * head_dim = 2 * B * T^2 * D.
+        # Token count scales with resolution, so T^2 scales with scale^2.
+        macs = 2.0 * batch * (tokens**2) * dim * (scale**2)
+        return LayerCost(name, "attention", float(macs), 0, 0.0,
+                         float(batch * tokens * dim * BYTES_PER_WEIGHT * scale))
+
+    if isinstance(module, (BatchNorm2d, LayerNorm)):
+        out = output
+        weight_count = sum(p.size for p in module.parameters())
+        macs = 2.0 * out.size * scale
+        return LayerCost(name, "norm", float(macs), int(weight_count),
+                         weight_count * BYTES_PER_WEIGHT, float(out.size * BYTES_PER_WEIGHT * scale))
+    return None

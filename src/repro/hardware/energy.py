@@ -1,0 +1,66 @@
+"""Inference energy model.
+
+Energy is split into a static part (board power integrated over the inference
+latency) and a dynamic part (energy per executed MAC and per byte moved).  Because
+pruning reduces both the latency and the executed MACs/bytes, energy reductions of
+the magnitude the paper reports (45-70 %) follow directly from the sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.cost_model import ModelCostProfile
+from repro.hardware.latency import LatencyEstimate, estimate_latency
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.sparsity import SparsityProfile
+
+
+@dataclass
+class EnergyEstimate:
+    """Energy estimate of one inference on one platform."""
+
+    platform: str
+    framework: str
+    static_joules: float
+    compute_joules: float
+    memory_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.static_joules + self.compute_joules + self.memory_joules
+
+
+def estimate_energy(
+    profile: ModelCostProfile,
+    platform: PlatformSpec,
+    sparsity: Optional[SparsityProfile] = None,
+    latency: Optional[LatencyEstimate] = None,
+) -> EnergyEstimate:
+    """Estimate the energy of one inference.
+
+    ``latency`` can be passed to avoid recomputing it; otherwise it is derived from
+    the same profile/sparsity pair.
+    """
+    sparsity = sparsity or SparsityProfile.dense()
+    if latency is None:
+        latency = estimate_latency(profile, platform, sparsity)
+
+    static = platform.static_power_watts * latency.total_seconds
+    compute = platform.energy_per_mac * latency.effective_macs
+    memory = platform.energy_per_byte * latency.memory_bytes
+    return EnergyEstimate(
+        platform=platform.name,
+        framework=sparsity.framework,
+        static_joules=static,
+        compute_joules=compute,
+        memory_joules=memory,
+    )
+
+
+def energy_reduction_percent(baseline: EnergyEstimate, pruned: EnergyEstimate) -> float:
+    """Percentage energy reduction of a pruned model relative to the dense baseline."""
+    if baseline.total_joules <= 0:
+        return 0.0
+    return 100.0 * (1.0 - pruned.total_joules / baseline.total_joules)

@@ -1,0 +1,122 @@
+"""Evaluation-platform models.
+
+The paper measures latency and energy on an NVIDIA RTX 2080Ti workstation GPU and a
+Jetson TX2 embedded board.  Neither is available in this environment, so both are
+modelled analytically: a platform is characterised by its *effective* dense
+throughput (calibrated so the dense models land near the paper's Table 2 / Table 3
+execution times), its effective memory bandwidth, how well it can exploit each kind
+of sparsity, and a simple power model.
+
+All pruned-model latency/energy numbers are **derived** from the achieved per-layer
+sparsity of a pruning report — nothing about the pruned operating points is
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: How much of the theoretical MAC savings each sparsity structure actually yields
+#: at inference time.  Semi-structured (pattern) sparsity keeps a regular layout and
+#: compresses well (Section II/III of the paper); unstructured sparsity suffers from
+#: load imbalance and poor locality; structured (filter/channel) sparsity simply
+#: shrinks the dense computation.
+DEFAULT_SKIP_EFFICIENCY: Dict[str, float] = {
+    "pattern": 0.72,
+    "unstructured": 0.38,
+    "structured": 0.90,
+    "dense": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Analytic model of one evaluation platform."""
+
+    name: str
+    #: Effective dense MAC throughput (MAC/s) actually sustained by the detector
+    #: workloads (calibrated against the paper's dense execution times).
+    effective_macs_per_second: float
+    #: Effective DRAM bandwidth (bytes/s) for weight + activation traffic.
+    memory_bandwidth: float
+    #: Fixed per-inference overhead (kernel launches, pre/post-processing), seconds.
+    fixed_overhead_seconds: float
+    #: Additional per-layer overhead, seconds.
+    per_layer_overhead_seconds: float
+    #: Board/package power drawn while the inference is running but not attributable
+    #: to the computation itself (idle + memory controllers, etc.), watts.
+    static_power_watts: float
+    #: Dynamic energy per MAC actually executed, joules.
+    energy_per_mac: float
+    #: Dynamic energy per byte moved from DRAM, joules.
+    energy_per_byte: float
+    #: Efficiency of skipping pruned weights, per sparsity structure.
+    skip_efficiency: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_SKIP_EFFICIENCY))
+    #: Extra throughput factor when only a small number of distinct kernel patterns
+    #: is used (the paper groups kernels with identical patterns to speed up
+    #: inference); 1.0 means no bonus.
+    pattern_grouping_speedup: float = 1.08
+    #: Relative throughput of each layer type compared to convolution (dense GEMM
+    #: pipelines are tuned for convolutions; attention and small matmuls achieve a
+    #: fraction of the peak, especially on the embedded board).
+    layer_type_efficiency: Dict[str, float] = field(default_factory=lambda: {
+        "conv": 1.0, "linear": 0.5, "attention": 0.3, "norm": 0.5,
+    })
+
+    def skip_efficiency_for(self, structure: str) -> float:
+        """Sparse-skip efficiency for a sparsity structure (defaults to unstructured)."""
+        return self.skip_efficiency.get(structure, self.skip_efficiency["unstructured"])
+
+    def throughput_for(self, layer_type: str) -> float:
+        """Effective MAC/s for a given layer type."""
+        factor = self.layer_type_efficiency.get(layer_type, 1.0)
+        return self.effective_macs_per_second * factor
+
+
+# ----------------------------------------------------------------------------- presets
+# RTX 2080Ti: Table 3 implies a dense YOLOv5s latency around 12.8 ms and a dense
+# RetinaNet latency around 136 ms at 640x640, i.e. an effective throughput of
+# roughly 0.6 TMAC/s for these workloads.
+RTX_2080TI = PlatformSpec(
+    name="RTX 2080Ti",
+    effective_macs_per_second=620e9,
+    memory_bandwidth=448e9,
+    fixed_overhead_seconds=1.5e-3,
+    per_layer_overhead_seconds=6e-6,
+    static_power_watts=55.0,
+    energy_per_mac=4.5e-12,
+    energy_per_byte=9.0e-12,
+    layer_type_efficiency={"conv": 1.0, "linear": 0.45, "attention": 0.30, "norm": 0.5},
+)
+
+# Jetson TX2: Table 2 reports dense 640x640 execution times of 0.74 s (YOLOv5s),
+# 6.8 s (RetinaNet) and 7.6 s (DETR), i.e. roughly 11 GMAC/s effective.
+JETSON_TX2 = PlatformSpec(
+    name="Jetson TX2",
+    effective_macs_per_second=11.5e9,
+    memory_bandwidth=59.7e9,
+    fixed_overhead_seconds=25e-3,
+    per_layer_overhead_seconds=80e-6,
+    static_power_watts=4.5,
+    energy_per_mac=28e-12,
+    energy_per_byte=35e-12,
+    layer_type_efficiency={"conv": 1.0, "linear": 0.18, "attention": 0.12, "norm": 0.4},
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    "rtx_2080ti": RTX_2080TI,
+    "jetson_tx2": JETSON_TX2,
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a platform by key ('rtx_2080ti' or 'jetson_tx2') or display name."""
+    key = name.lower().replace(" ", "_")
+    if key in PLATFORMS:
+        return PLATFORMS[key]
+    for platform in PLATFORMS.values():
+        if platform.name.lower() == name.lower():
+            return platform
+    raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}")

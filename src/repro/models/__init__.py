@@ -1,0 +1,36 @@
+"""Object-detector model zoo."""
+
+from repro.models import blocks
+from repro.models.detr import Detr, DetrConfig, detr_lite, detr_resnet50
+from repro.models.model_zoo import (
+    PAPER_POINTWISE_KERNEL_SHARE,
+    TABLE1_REFERENCES,
+    TABLE2_REFERENCES,
+    DetectorReference,
+    build_reference_model,
+    measured_parameters_millions,
+)
+from repro.models.registry import available_models, build_model, register_model
+from repro.models.retinanet import RetinaNet, RetinaNetConfig, retinanet_lite, retinanet_resnet50
+from repro.models.tiny import TinyDetector, TinyDetectorConfig, tiny_detector
+from repro.models.yolor import YoloR, YoloRConfig, yolor
+from repro.models.yolov5 import YoloV5, YoloV5Config, build_yolov5, yolov5n, yolov5s
+from repro.models.yolov7 import YoloV7, YoloV7Config, yolov7
+from repro.models.yolox import YoloX, YoloXConfig, yolox_s
+from repro.models.registry import _register_builtin_models
+
+_register_builtin_models()
+
+__all__ = [
+    "blocks",
+    "Detr", "DetrConfig", "detr_lite", "detr_resnet50",
+    "PAPER_POINTWISE_KERNEL_SHARE", "TABLE1_REFERENCES", "TABLE2_REFERENCES",
+    "DetectorReference", "build_reference_model", "measured_parameters_millions",
+    "available_models", "build_model", "register_model",
+    "RetinaNet", "RetinaNetConfig", "retinanet_lite", "retinanet_resnet50",
+    "TinyDetector", "TinyDetectorConfig", "tiny_detector",
+    "YoloR", "YoloRConfig", "yolor",
+    "YoloV5", "YoloV5Config", "build_yolov5", "yolov5n", "yolov5s",
+    "YoloV7", "YoloV7Config", "yolov7",
+    "YoloX", "YoloXConfig", "yolox_s",
+]

@@ -1,0 +1,18 @@
+"""Model building blocks (CSP, ResNet, FPN)."""
+
+from repro.models.blocks.csp import C3, SPPF, Bottleneck, ConvBNAct, Focus, autopad
+from repro.models.blocks.fpn import FeaturePyramidNetwork
+from repro.models.blocks.resnet import (
+    BasicBlock,
+    BottleneckBlock,
+    ResNetBackbone,
+    resnet18_backbone,
+    resnet50_backbone,
+)
+
+__all__ = [
+    "C3", "SPPF", "Bottleneck", "ConvBNAct", "Focus", "autopad",
+    "FeaturePyramidNetwork",
+    "BasicBlock", "BottleneckBlock", "ResNetBackbone",
+    "resnet18_backbone", "resnet50_backbone",
+]

@@ -1,0 +1,48 @@
+"""Feature Pyramid Network used by RetinaNet."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class FeaturePyramidNetwork(Module):
+    """FPN with the extra P6/P7 levels of the RetinaNet paper.
+
+    Takes backbone features C3, C4, C5 and produces P3..P7, all with
+    ``out_channels`` channels.
+    """
+
+    def __init__(self, c3_channels: int, c4_channels: int, c5_channels: int,
+                 out_channels: int = 256,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.out_channels = int(out_channels)
+        self.lateral_c3 = Conv2d(c3_channels, out_channels, 1, 1, 0, rng=rng)
+        self.lateral_c4 = Conv2d(c4_channels, out_channels, 1, 1, 0, rng=rng)
+        self.lateral_c5 = Conv2d(c5_channels, out_channels, 1, 1, 0, rng=rng)
+        self.output_p3 = Conv2d(out_channels, out_channels, 3, 1, 1, rng=rng)
+        self.output_p4 = Conv2d(out_channels, out_channels, 3, 1, 1, rng=rng)
+        self.output_p5 = Conv2d(out_channels, out_channels, 3, 1, 1, rng=rng)
+        self.p6 = Conv2d(c5_channels, out_channels, 3, 2, 1, rng=rng)
+        self.p7_relu = ReLU()
+        self.p7 = Conv2d(out_channels, out_channels, 3, 2, 1, rng=rng)
+
+    def forward(self, features: Dict[str, Tensor]) -> List[Tensor]:
+        c3, c4, c5 = features["c3"], features["c4"], features["c5"]
+        p5 = self.lateral_c5(c5)
+        p4 = self.lateral_c4(c4) + F.upsample_nearest2d(p5, 2)
+        p3 = self.lateral_c3(c3) + F.upsample_nearest2d(p4, 2)
+        p3 = self.output_p3(p3)
+        p4 = self.output_p4(p4)
+        p5 = self.output_p5(p5)
+        p6 = self.p6(c5)
+        p7 = self.p7(self.p7_relu(p6))
+        return [p3, p4, p5, p6, p7]

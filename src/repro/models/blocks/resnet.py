@@ -1,0 +1,136 @@
+"""ResNet backbones (RetinaNet and DETR both use ResNet-50)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pooling import MaxPool2d
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection (ResNet-18/34)."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, channels, 3, stride, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, 1, 1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != channels * self.expansion:
+            self.downsample = Sequential(
+                Conv2d(in_channels, channels * self.expansion, 1, stride, 0, bias=False, rng=rng),
+                BatchNorm2d(channels * self.expansion),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + identity)
+
+
+class BottleneckBlock(Module):
+    """1x1 - 3x3 - 1x1 bottleneck with expansion 4 (ResNet-50/101)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = Conv2d(in_channels, channels, 1, 1, 0, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, stride, 1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.conv3 = Conv2d(channels, out_channels, 1, 1, 0, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride, 0, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return self.relu(out + identity)
+
+
+class ResNetBackbone(Module):
+    """Feature-extraction ResNet returning the C3, C4, C5 stage outputs.
+
+    Parameters
+    ----------
+    block:
+        ``BasicBlock`` or ``BottleneckBlock``.
+    layers:
+        Number of residual blocks per stage, e.g. ``(3, 4, 6, 3)`` for ResNet-50.
+    width:
+        Base channel width (64 for the standard ResNets).
+    """
+
+    def __init__(self, block, layers: Sequence[int], width: int = 64,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.block = block
+        self.stem_conv = Conv2d(3, width, 7, 2, 3, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(width)
+        self.stem_relu = ReLU()
+        self.stem_pool = MaxPool2d(3, stride=2, padding=1)
+
+        self._in_channels = width
+        self.layer1 = self._make_stage(block, width, layers[0], stride=1, rng=rng)
+        self.layer2 = self._make_stage(block, width * 2, layers[1], stride=2, rng=rng)
+        self.layer3 = self._make_stage(block, width * 4, layers[2], stride=2, rng=rng)
+        self.layer4 = self._make_stage(block, width * 8, layers[3], stride=2, rng=rng)
+
+        self.stage_channels = {
+            "c2": width * block.expansion,
+            "c3": width * 2 * block.expansion,
+            "c4": width * 4 * block.expansion,
+            "c5": width * 8 * block.expansion,
+        }
+
+    def _make_stage(self, block, channels: int, depth: int, stride: int,
+                    rng: Optional[np.random.Generator]) -> Sequential:
+        blocks: List[Module] = [block(self._in_channels, channels, stride, rng=rng)]
+        self._in_channels = channels * block.expansion
+        for _ in range(depth - 1):
+            blocks.append(block(self._in_channels, channels, 1, rng=rng))
+        return Sequential(*blocks)
+
+    def forward(self, x: Tensor) -> Dict[str, Tensor]:
+        x = self.stem_pool(self.stem_relu(self.stem_bn(self.stem_conv(x))))
+        c2 = self.layer1(x)
+        c3 = self.layer2(c2)
+        c4 = self.layer3(c3)
+        c5 = self.layer4(c4)
+        return {"c2": c2, "c3": c3, "c4": c4, "c5": c5}
+
+
+def resnet18_backbone(rng: Optional[np.random.Generator] = None) -> ResNetBackbone:
+    """ResNet-18 feature extractor (used by the lightweight examples)."""
+    return ResNetBackbone(BasicBlock, (2, 2, 2, 2), rng=rng)
+
+
+def resnet50_backbone(rng: Optional[np.random.Generator] = None) -> ResNetBackbone:
+    """ResNet-50 feature extractor (RetinaNet / DETR backbone, ~23.5 M parameters)."""
+    return ResNetBackbone(BottleneckBlock, (3, 4, 6, 3), rng=rng)

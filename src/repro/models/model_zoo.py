@@ -1,0 +1,81 @@
+"""Model metadata used by Tables 1 and 2 of the paper.
+
+Two kinds of information live here:
+
+* **Published reference metrics** (Table 1: COCO mAP and fps of the two-stage and
+  single-stage detectors; Table 2: parameter counts and Jetson TX2 execution times
+  reported by the paper).  These are the numbers the reproduction compares its own
+  measurements against — they are data *about the paper*, not outputs of our code.
+* **Constructible architectures**: for every single-stage detector in Table 2 we can
+  build the actual model (:func:`build_model`) and measure its parameter count and
+  simulated latency ourselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.models.registry import build_model
+
+
+@dataclass(frozen=True)
+class DetectorReference:
+    """Published reference numbers for one detector (paper Tables 1 and 2)."""
+
+    name: str
+    detector_type: str                 # "two-stage" | "single-stage"
+    paper_map: Optional[float] = None          # Table 1 mAP (%)
+    paper_fps: Optional[float] = None          # Table 1 inference rate (fps)
+    paper_parameters_millions: Optional[float] = None   # Table 2 params (M)
+    paper_tx2_execution_seconds: Optional[float] = None  # Table 2 execution time (s)
+    registry_name: Optional[str] = None        # how to build our reproduction, if any
+
+
+# Table 1: two-stage vs single-stage comparison (COCO numbers quoted by the paper).
+TABLE1_REFERENCES: List[DetectorReference] = [
+    DetectorReference("R-CNN", "two-stage", paper_map=42.0, paper_fps=0.02),
+    DetectorReference("Fast R-CNN", "two-stage", paper_map=19.7, paper_fps=0.5),
+    DetectorReference("Faster R-CNN", "two-stage", paper_map=78.9, paper_fps=7.0),
+    DetectorReference("RetinaNet", "single-stage", paper_map=61.1, paper_fps=90.0,
+                      registry_name="retinanet"),
+    DetectorReference("YOLOv4", "single-stage", paper_map=65.7, paper_fps=62.0),
+    DetectorReference("YOLOv5", "single-stage", paper_map=56.4, paper_fps=140.0,
+                      registry_name="yolov5s"),
+]
+
+# Table 2: model size vs Jetson TX2 execution time.
+TABLE2_REFERENCES: List[DetectorReference] = [
+    DetectorReference("YOLOv5", "single-stage", paper_parameters_millions=7.02,
+                      paper_tx2_execution_seconds=0.7415, registry_name="yolov5s"),
+    DetectorReference("YOLOX", "single-stage", paper_parameters_millions=8.97,
+                      paper_tx2_execution_seconds=1.23, registry_name="yolox"),
+    DetectorReference("RetinaNet", "single-stage", paper_parameters_millions=36.49,
+                      paper_tx2_execution_seconds=6.8, registry_name="retinanet"),
+    DetectorReference("YOLOv7", "single-stage", paper_parameters_millions=36.90,
+                      paper_tx2_execution_seconds=6.5, registry_name="yolov7"),
+    DetectorReference("YOLOR", "single-stage", paper_parameters_millions=37.26,
+                      paper_tx2_execution_seconds=6.89, registry_name="yolor"),
+    DetectorReference("DETR", "single-stage", paper_parameters_millions=41.52,
+                      paper_tx2_execution_seconds=7.6, registry_name="detr"),
+]
+
+# Fraction of kernels that are 1x1 according to Section III of the paper.
+PAPER_POINTWISE_KERNEL_SHARE: Dict[str, float] = {
+    "yolov5s": 0.6842,
+    "retinanet": 0.5614,
+    "detr": 0.6346,
+}
+
+
+def build_reference_model(reference: DetectorReference, **kwargs):
+    """Construct the reproduction model for a reference entry (if one exists)."""
+    if reference.registry_name is None:
+        raise ValueError(f"{reference.name} has no constructible reproduction")
+    return build_model(reference.registry_name, **kwargs)
+
+
+def measured_parameters_millions(reference: DetectorReference, **kwargs) -> float:
+    """Parameter count (in millions) of our constructed reproduction of a model."""
+    model = build_reference_model(reference, **kwargs)
+    return model.num_parameters() / 1e6

@@ -1,0 +1,66 @@
+"""Model registry: build any detector by name.
+
+The registry is the single entry point the experiments and examples use, so adding a
+model here automatically makes it available to the Table 1/2 drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nn.module import Module
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str) -> Callable[[Callable[..., Module]], Callable[..., Module]]:
+    """Decorator registering a model factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+
+    def decorator(factory: Callable[..., Module]) -> Callable[..., Module]:
+        if key in _REGISTRY:
+            raise ValueError(f"model {name!r} is already registered")
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_models() -> List[str]:
+    """Sorted list of registered model names."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtin_models() -> None:
+    """Register the paper's model set (called once on package import)."""
+    from repro.models.detr import detr_lite, detr_resnet50
+    from repro.models.retinanet import retinanet_lite, retinanet_resnet50
+    from repro.models.tiny import tiny_detector
+    from repro.models.yolor import yolor
+    from repro.models.yolov5 import yolov5n, yolov5s
+    from repro.models.yolov7 import yolov7
+    from repro.models.yolox import yolox_s
+
+    builtin = {
+        "yolov5s": yolov5s,
+        "yolov5n": yolov5n,
+        "retinanet": retinanet_resnet50,
+        "retinanet_lite": retinanet_lite,
+        "yolox": yolox_s,
+        "yolov7": yolov7,
+        "yolor": yolor,
+        "detr": detr_resnet50,
+        "detr_lite": detr_lite,
+        "tiny": tiny_detector,
+    }
+    for name, factory in builtin.items():
+        if name not in _REGISTRY:
+            _REGISTRY[name] = factory

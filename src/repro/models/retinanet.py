@@ -1,0 +1,144 @@
+"""RetinaNet (ResNet-50 + FPN + focal-loss heads).
+
+The architecture follows Lin et al.: a ResNet-50 backbone, an FPN producing P3..P7
+with 256 channels, and two shared sub-networks of four 3x3 convolutions each for
+classification and box regression.  With the 3 KITTI classes this lands at
+~36.4 M parameters, matching the 36.49 M the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.detection.anchors import RetinaAnchorConfig, retinanet_anchors
+from repro.models.blocks.fpn import FeaturePyramidNetwork
+from repro.models.blocks.resnet import resnet18_backbone, resnet50_backbone
+from repro.nn import functional as F
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module, ModuleList, Sequential
+from repro.nn.tensor import Tensor
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class RetinaNetConfig:
+    """Architecture hyper-parameters for RetinaNet."""
+
+    num_classes: int = 3
+    fpn_channels: int = 256
+    head_depth: int = 4
+    image_size: int = 640
+    backbone: str = "resnet50"
+    anchor_config: RetinaAnchorConfig = None
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.anchor_config is None:
+            self.anchor_config = RetinaAnchorConfig()
+        if self.backbone not in ("resnet50", "resnet18"):
+            raise ValueError(f"unsupported backbone {self.backbone!r}")
+
+
+class RetinaHead(Module):
+    """Shared classification or regression tower: N 3x3 convolutions + prediction."""
+
+    def __init__(self, in_channels: int, out_channels_per_anchor: int, num_anchors: int,
+                 depth: int = 4, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        layers = []
+        for _ in range(depth):
+            layers.append(Conv2d(in_channels, in_channels, 3, 1, 1, rng=rng))
+            layers.append(ReLU())
+        self.tower = Sequential(*layers)
+        self.prediction = Conv2d(in_channels, num_anchors * out_channels_per_anchor, 3, 1, 1,
+                                 rng=rng)
+        self.out_channels_per_anchor = out_channels_per_anchor
+        self.num_anchors = num_anchors
+
+    def forward(self, feature: Tensor) -> Tensor:
+        return self.prediction(self.tower(feature))
+
+
+class RetinaNet(Module):
+    """RetinaNet detector returning per-level classification and regression maps."""
+
+    def __init__(self, config: Optional[RetinaNetConfig] = None) -> None:
+        super().__init__()
+        self.config = config or RetinaNetConfig()
+        cfg = self.config
+        rng = spawn_rng("retinanet", cfg.seed)
+
+        if cfg.backbone == "resnet50":
+            self.backbone = resnet50_backbone(rng=rng)
+        else:
+            self.backbone = resnet18_backbone(rng=rng)
+        channels = self.backbone.stage_channels
+        self.fpn = FeaturePyramidNetwork(
+            channels["c3"], channels["c4"], channels["c5"], cfg.fpn_channels, rng=rng,
+        )
+        num_anchors = cfg.anchor_config.num_anchors_per_cell
+        self.classification_head = RetinaHead(
+            cfg.fpn_channels, cfg.num_classes, num_anchors, cfg.head_depth, rng=rng,
+        )
+        self.regression_head = RetinaHead(
+            cfg.fpn_channels, 4, num_anchors, cfg.head_depth, rng=rng,
+        )
+
+    def forward(self, x: Tensor) -> Dict[str, List[Tensor]]:
+        features = self.backbone(x)
+        pyramid = self.fpn(features)
+        class_maps = [self.classification_head(p) for p in pyramid]
+        box_maps = [self.regression_head(p) for p in pyramid]
+        return {"class_maps": class_maps, "box_maps": box_maps}
+
+    # ------------------------------------------------------------------ helpers
+    def flatten_outputs(self, outputs: Dict[str, List[Tensor]]) -> Tuple[np.ndarray, np.ndarray]:
+        """Reshape per-level maps into (B, N_anchors, C) and (B, N_anchors, 4) arrays."""
+        cfg = self.config
+        num_anchors = cfg.anchor_config.num_anchors_per_cell
+        class_chunks = []
+        box_chunks = []
+        for class_map, box_map in zip(outputs["class_maps"], outputs["box_maps"]):
+            b, _, h, w = class_map.shape
+            cls = class_map.numpy().reshape(b, num_anchors, cfg.num_classes, h, w)
+            cls = cls.transpose(0, 3, 4, 1, 2).reshape(b, h * w * num_anchors, cfg.num_classes)
+            box = box_map.numpy().reshape(b, num_anchors, 4, h, w)
+            box = box.transpose(0, 3, 4, 1, 2).reshape(b, h * w * num_anchors, 4)
+            class_chunks.append(cls)
+            box_chunks.append(box)
+        return np.concatenate(class_chunks, axis=1), np.concatenate(box_chunks, axis=1)
+
+    def anchors(self, image_size: Optional[int] = None) -> np.ndarray:
+        """All anchors (xyxy) for a square input of ``image_size``."""
+        size = image_size or self.config.image_size
+        return retinanet_anchors(size, self.config.anchor_config)
+
+    def describe(self) -> Dict[str, float]:
+        total = self.num_parameters()
+        return {
+            "name": "RetinaNet",
+            "parameters": total,
+            "parameters_millions": total / 1e6,
+            "num_classes": self.config.num_classes,
+            "image_size": self.config.image_size,
+        }
+
+
+def retinanet_resnet50(num_classes: int = 3, image_size: int = 640) -> RetinaNet:
+    """The RetinaNet variant evaluated in the paper (~36.4 M parameters)."""
+    return RetinaNet(RetinaNetConfig(num_classes=num_classes, image_size=image_size))
+
+
+def retinanet_lite(num_classes: int = 3, image_size: int = 128) -> RetinaNet:
+    """A reduced RetinaNet (ResNet-18 backbone, 64-channel FPN, 1-conv towers).
+
+    Used by integration tests that need a runnable RetinaNet forward pass without
+    the full 36 M-parameter model.
+    """
+    config = RetinaNetConfig(num_classes=num_classes, fpn_channels=64, head_depth=1,
+                             image_size=image_size, backbone="resnet18")
+    return RetinaNet(config)

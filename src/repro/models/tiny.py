@@ -1,0 +1,94 @@
+"""TinyDetector — a small, genuinely trainable single-scale YOLO-style detector.
+
+The full-size YOLOv5s / RetinaNet models cannot be trained to convergence in a pure
+numpy environment, so accuracy experiments that need *measured* (not estimated) mAP
+use this detector on the synthetic KITTI dataset: it trains in seconds, contains the
+same ingredient layers the pruning framework targets (3x3 convolutions, 1x1
+convolutions, BatchNorm, residual/CSP-style merges), and is pruned through exactly
+the same R-TOSS / baseline code paths as the large models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.blocks.csp import C3, ConvBNAct
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class TinyDetectorConfig:
+    """Architecture hyper-parameters of the TinyDetector."""
+
+    num_classes: int = 3
+    image_size: int = 96
+    base_channels: int = 16
+    num_anchors: int = 3
+    seed: int = 29
+
+    @property
+    def grid_size(self) -> int:
+        return self.image_size // 8
+
+    @property
+    def default_anchors(self) -> np.ndarray:
+        scale = self.image_size
+        return np.asarray(
+            [[0.12 * scale, 0.12 * scale],
+             [0.25 * scale, 0.25 * scale],
+             [0.45 * scale, 0.35 * scale]],
+            dtype=np.float32,
+        )
+
+
+class TinyDetector(Module):
+    """Three-stage CSP backbone + single-scale YOLO head (stride 8)."""
+
+    def __init__(self, config: Optional[TinyDetectorConfig] = None) -> None:
+        super().__init__()
+        self.config = config or TinyDetectorConfig()
+        cfg = self.config
+        rng = spawn_rng("tiny-detector", cfg.seed)
+        c = cfg.base_channels
+
+        self.stem = ConvBNAct(3, c, 3, 2, rng=rng)                   # /2
+        self.stage1 = ConvBNAct(c, c * 2, 3, 2, rng=rng)             # /4
+        self.csp1 = C3(c * 2, c * 2, depth=1, rng=rng)
+        self.stage2 = ConvBNAct(c * 2, c * 4, 3, 2, rng=rng)         # /8
+        self.csp2 = C3(c * 4, c * 4, depth=1, rng=rng)
+        self.mix = ConvBNAct(c * 4, c * 4, 1, 1, rng=rng)
+        self.head = Conv2d(c * 4, cfg.num_anchors * (5 + cfg.num_classes), 1, 1, 0, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.csp1(self.stage1(x))
+        x = self.csp2(self.stage2(x))
+        return self.head(self.mix(x))
+
+    @property
+    def anchors(self) -> np.ndarray:
+        return self.config.default_anchors
+
+    def describe(self) -> Dict[str, float]:
+        total = self.num_parameters()
+        return {
+            "name": "TinyDetector",
+            "parameters": total,
+            "parameters_millions": total / 1e6,
+            "num_classes": self.config.num_classes,
+            "image_size": self.config.image_size,
+        }
+
+
+def tiny_detector(num_classes: int = 3, image_size: int = 96,
+                  base_channels: int = 16) -> TinyDetector:
+    """Build the default TinyDetector used by the measured-mAP experiments."""
+    return TinyDetector(TinyDetectorConfig(
+        num_classes=num_classes, image_size=image_size, base_channels=base_channels,
+    ))

@@ -1,0 +1,134 @@
+"""YOLOR — "You Only Learn One Representation" (Table 2 comparison model).
+
+YOLOR couples a CSP detector with *implicit knowledge*: small learned vectors that
+are added to (ImplicitA) and multiplied with (ImplicitM) the head inputs/outputs.
+The reproduction keeps that signature mechanism on top of a CSP backbone/neck scaled
+to the ~37.3 M parameter budget quoted in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.yolov5 import DetectHead, YoloV5, YoloV5Config
+from repro.nn import functional as F
+from repro.nn.module import Identity, Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import spawn_rng
+
+
+class ImplicitA(Module):
+    """Learned additive implicit knowledge (one value per channel)."""
+
+    def __init__(self, channels: int, std: float = 0.02,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.implicit = Parameter(
+            (rng.standard_normal((1, channels, 1, 1)) * std).astype(np.float32),
+            name="implicit",
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.implicit
+
+
+class ImplicitM(Module):
+    """Learned multiplicative implicit knowledge (one value per channel)."""
+
+    def __init__(self, channels: int, std: float = 0.02,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.implicit = Parameter(
+            (1.0 + rng.standard_normal((1, channels, 1, 1)) * std).astype(np.float32),
+            name="implicit",
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * self.implicit
+
+
+@dataclass
+class YoloRConfig:
+    """Architecture hyper-parameters of the YOLOR reproduction."""
+
+    num_classes: int = 3
+    depth_multiple: float = 1.0
+    width_multiple: float = 0.9
+    image_size: int = 640
+    seed: int = 23
+
+
+class YoloR(Module):
+    """CSP detector with implicit-knowledge modules around the detection head."""
+
+    def __init__(self, config: Optional[YoloRConfig] = None) -> None:
+        super().__init__()
+        self.config = config or YoloRConfig()
+        cfg = self.config
+        rng = spawn_rng("yolor", cfg.seed)
+
+        body_config = YoloV5Config(
+            num_classes=cfg.num_classes,
+            depth_multiple=cfg.depth_multiple,
+            width_multiple=cfg.width_multiple,
+            image_size=cfg.image_size,
+            seed=cfg.seed,
+        )
+        self.body = YoloV5(body_config)
+        # Replace the plain Detect head with an implicit-knowledge wrapped head.
+        feature_channels = self.body.feature_channels
+        self.body.detect = Identity()
+        self.implicit_add = ModuleList([ImplicitA(c, rng=rng) for c in feature_channels])
+        self.detect = DetectHead(feature_channels, cfg.num_classes, 3, rng=rng)
+        self.implicit_mul = ModuleList([
+            ImplicitM(self.detect.out_channels, rng=rng) for _ in feature_channels
+        ])
+
+    def forward(self, x: Tensor) -> List[Tensor]:
+        body = self.body
+        x = body.stem(x)
+        x = body.down1(x)
+        x = body.c3_1(x)
+        x = body.down2(x)
+        p3 = body.c3_2(x)
+        x = body.down3(p3)
+        p4 = body.c3_3(x)
+        x = body.down4(p4)
+        x = body.c3_4(x)
+        p5 = body.sppf(x)
+
+        reduced_p5 = body.neck_reduce_p5(p5)
+        up_p5 = body.upsample(reduced_p5)
+        merged_p4 = body.neck_c3_p4(F.concat([up_p5, p4], axis=1))
+        reduced_p4 = body.neck_reduce_p4(merged_p4)
+        up_p4 = body.upsample(reduced_p4)
+        out_p3 = body.neck_c3_p3(F.concat([up_p4, p3], axis=1))
+        down_p3 = body.neck_down_p3(out_p3)
+        out_p4 = body.neck_c3_n4(F.concat([down_p3, reduced_p4], axis=1))
+        down_p4 = body.neck_down_p4(out_p4)
+        out_p5 = body.neck_c3_n5(F.concat([down_p4, reduced_p5], axis=1))
+
+        features = [out_p3, out_p4, out_p5]
+        features = [ia(f) for ia, f in zip(self.implicit_add, features)]
+        outputs = self.detect(features)
+        return [im(o) for im, o in zip(self.implicit_mul, outputs)]
+
+    def describe(self) -> Dict[str, float]:
+        total = self.num_parameters()
+        return {
+            "name": "YOLOR",
+            "parameters": total,
+            "parameters_millions": total / 1e6,
+            "num_classes": self.config.num_classes,
+            "image_size": self.config.image_size,
+        }
+
+
+def yolor(num_classes: int = 3, image_size: int = 640) -> YoloR:
+    """Full-size YOLOR reproduction (~37 M parameters)."""
+    return YoloR(YoloRConfig(num_classes=num_classes, image_size=image_size))

@@ -1,0 +1,57 @@
+"""Numpy neural-network substrate (tensors, autograd, modules, layers, training).
+
+This package replaces PyTorch for the purposes of the reproduction: it provides
+exactly the primitives the R-TOSS pruning framework and the object detectors in
+:mod:`repro.models` require.
+"""
+
+from repro.nn import functional
+from repro.nn import init
+from repro.nn import losses
+from repro.nn.graph import ModelGraph, trace
+from repro.nn.layers import (
+    GELU,
+    Add,
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    GroupNorm,
+    Hardswish,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    MultiHeadAttention,
+    PointwiseConv2d,
+    ReLU,
+    SiLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    Upsample,
+    ZeroPad2d,
+    build_activation,
+)
+from repro.nn.module import Identity, Module, ModuleList, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR, WarmupCosineLR
+from repro.nn.tensor import Tensor, as_tensor, ones, randn, zeros
+
+__all__ = [
+    "functional", "init", "losses",
+    "ModelGraph", "trace",
+    "Tensor", "as_tensor", "ones", "randn", "zeros",
+    "Identity", "Module", "ModuleList", "Parameter", "Sequential",
+    "SGD", "Adam", "CosineAnnealingLR", "StepLR", "WarmupCosineLR",
+    "GELU", "Add", "AdaptiveAvgPool2d", "AvgPool2d", "BatchNorm2d", "Concat", "Conv2d",
+    "DepthwiseConv2d", "Flatten", "GlobalAvgPool2d", "GroupNorm", "Hardswish", "LayerNorm",
+    "LeakyReLU", "Linear", "MaxPool2d", "MultiHeadAttention", "PointwiseConv2d", "ReLU",
+    "SiLU", "Sigmoid", "Softmax", "Tanh", "TransformerDecoderLayer", "TransformerEncoderLayer",
+    "Upsample", "ZeroPad2d", "build_activation",
+]

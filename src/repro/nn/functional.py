@@ -1,0 +1,543 @@
+"""Functional neural-network primitives (forward + backward).
+
+Every function accepts and returns :class:`repro.nn.tensor.Tensor` objects and wires
+the operation into the autograd tape.  Convolution is implemented with im2col so both
+the forward pass and the weight/input gradients reduce to large matrix multiplies,
+which is the only way to get acceptable throughput out of pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# --------------------------------------------------------------------------- im2col
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Compute gather indices turning an NCHW image into column form."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {x_shape}, kernel {kernel}, "
+            f"stride {stride}, padding {padding}"
+        )
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, (out_h, out_w)
+
+
+def _im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Return columns of shape ``(N, C*kh*kw, out_h*out_w)``."""
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    k, i, j, out_hw = _im2col_indices(
+        (x.shape[0], x.shape[1], x.shape[2] - 2 * 0, x.shape[3] - 2 * 0)
+        if False
+        else (x.shape[0], x.shape[1], x.shape[2], x.shape[3]),
+        kernel,
+        stride,
+        (0, 0),
+    )
+    cols = x[:, k, i, j]
+    return cols, out_hw
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add columns back to an image of ``x_shape`` (inverse of im2col)."""
+    n, c, h, w = x_shape
+    ph, pw = padding
+    h_pad, w_pad = h + 2 * ph, w + 2 * pw
+    padded = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    k, i, j, _ = _im2col_indices((n, c, h_pad, w_pad), kernel, stride, (0, 0))
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if ph or pw:
+        return padded[:, :, ph:h_pad - ph if ph else h_pad, pw:w_pad - pw if pw else w_pad]
+    return padded
+
+
+# --------------------------------------------------------------------------- conv2d
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution over NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, kh, kw)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    stride = _pair(stride)
+    padding = _pair(padding)
+
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kh, kw = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError(f"channels ({c_in}->{c_out}) not divisible by groups={groups}")
+    if c_in // groups != c_in_per_group:
+        raise ValueError(
+            f"weight expects {c_in_per_group} input channels per group but input has "
+            f"{c_in // groups}"
+        )
+
+    if groups == 1:
+        cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
+        w_mat = weight.data.reshape(c_out, -1)
+        out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+        out = out.reshape(n, c_out, out_h, out_w)
+        cols_per_group = [cols]
+        group_slices = [(slice(0, c_in), slice(0, c_out))]
+    else:
+        group_in = c_in // groups
+        group_out = c_out // groups
+        cols_per_group = []
+        group_slices = []
+        outputs = []
+        out_h = out_w = None
+        for g in range(groups):
+            in_sl = slice(g * group_in, (g + 1) * group_in)
+            out_sl = slice(g * group_out, (g + 1) * group_out)
+            cols_g, (out_h, out_w) = _im2col(x.data[:, in_sl], (kh, kw), stride, padding)
+            w_mat = weight.data[out_sl].reshape(group_out, -1)
+            out_g = np.einsum("of,nfl->nol", w_mat, cols_g, optimize=True)
+            outputs.append(out_g.reshape(n, group_out, out_h, out_w))
+            cols_per_group.append(cols_g)
+            group_slices.append((in_sl, out_sl))
+        out = np.concatenate(outputs, axis=1)
+
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = grad.reshape(n, c_out, -1)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if groups == 1:
+            g_out = grad
+            if weight.requires_grad:
+                grad_w = np.einsum("nol,nfl->of", g_out, cols_per_group[0], optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                w_mat = weight.data.reshape(c_out, -1)
+                grad_cols = np.einsum("of,nol->nfl", w_mat, g_out, optimize=True)
+                grad_x = _col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+                x._accumulate(grad_x)
+        else:
+            group_out = c_out // groups
+            grad_x_full = np.zeros(x.shape, dtype=x.data.dtype) if x.requires_grad else None
+            grad_w_full = (
+                np.zeros(weight.shape, dtype=weight.data.dtype) if weight.requires_grad else None
+            )
+            for g, (in_sl, out_sl) in enumerate(group_slices):
+                g_out = grad[:, out_sl.start:out_sl.stop].reshape(n, group_out, -1)
+                if grad_w_full is not None:
+                    grad_w = np.einsum("nol,nfl->of", g_out, cols_per_group[g], optimize=True)
+                    grad_w_full[out_sl] = grad_w.reshape(group_out, *weight.shape[1:])
+                if grad_x_full is not None:
+                    w_mat = weight.data[out_sl].reshape(group_out, -1)
+                    grad_cols = np.einsum("of,nol->nfl", w_mat, g_out, optimize=True)
+                    sub_shape = (n, in_sl.stop - in_sl.start, h, w)
+                    grad_x_full[:, in_sl] = _col2im(grad_cols, sub_shape, (kh, kw), stride, padding)
+            if grad_w_full is not None:
+                weight._accumulate(grad_w_full)
+            if grad_x_full is not None:
+                x._accumulate(grad_x_full)
+
+    return Tensor._make(out.astype(np.float32), parents, backward)
+
+
+# --------------------------------------------------------------------------- linear
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    x = as_tensor(x)
+    out = x @ Tensor._make(weight.data.T, (weight,), lambda g: weight._accumulate(g.T))
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# --------------------------------------------------------------------------- norm
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.03,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over the channel dimension of NCHW input.
+
+    ``running_mean``/``running_var`` are plain arrays owned by the calling module and
+    are updated in place during training (matching the usual framework semantics).
+    """
+    x = as_tensor(x)
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_b = mean.reshape(1, -1, 1, 1)
+    inv_std = 1.0 / np.sqrt(var.reshape(1, -1, 1, 1) + eps)
+    x_hat = (x.data - mean_b) * inv_std
+    out = gamma.data.reshape(1, -1, 1, 1) * x_hat + beta.data.reshape(1, -1, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            g = gamma.data.reshape(1, -1, 1, 1)
+            if training:
+                n_elem = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+                grad_xhat = grad * g
+                term1 = grad_xhat
+                term2 = grad_xhat.mean(axis=(0, 2, 3), keepdims=True)
+                term3 = x_hat * (grad_xhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+                del n_elem
+                x._accumulate((term1 - term2 - term3) * inv_std)
+            else:
+                x._accumulate(grad * g * inv_std)
+
+    return Tensor._make(out.astype(np.float32), (x, gamma, beta), backward)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension (used by the DETR transformer)."""
+    x = as_tensor(x)
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean) * inv_std
+    out = gamma.data * x_hat + beta.data
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=tuple(range(grad.ndim - 1))))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=tuple(range(grad.ndim - 1))))
+        if x.requires_grad:
+            d = x.data.shape[-1]
+            grad_xhat = grad * gamma.data
+            term = (
+                grad_xhat
+                - grad_xhat.mean(axis=-1, keepdims=True)
+                - x_hat * (grad_xhat * x_hat).mean(axis=-1, keepdims=True)
+            )
+            del d
+            x._accumulate(term * inv_std)
+
+    return Tensor._make(out.astype(np.float32), (x, gamma, beta), backward)
+
+
+# --------------------------------------------------------------------------- activations
+def relu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.1) -> Tensor:
+    x = as_tensor(x)
+    slope = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * slope)
+
+    return Tensor._make(x.data * slope, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60.0, 60.0)))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out * (1.0 - out))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish, the default activation of YOLOv5."""
+    x = as_tensor(x)
+    sig = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60.0, 60.0)))
+    out = x.data * sig
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (sig * (1.0 + x.data * (1.0 - sig))))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def hardswish(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    inner = np.clip(x.data + 3.0, 0.0, 6.0)
+    out = x.data * inner / 6.0
+
+    def backward(grad: np.ndarray) -> None:
+        d_inner = ((x.data > -3.0) & (x.data < 3.0)).astype(x.data.dtype)
+        x._accumulate(grad * (inner / 6.0 + x.data * d_inner / 6.0))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh approximation of GELU (used by transformer blocks)."""
+    x = as_tensor(x)
+    c = np.sqrt(2.0 / np.pi).astype(np.float32)
+    inner = c * (x.data + 0.044715 * x.data**3)
+    tanh = np.tanh(inner)
+    out = 0.5 * x.data * (1.0 + tanh)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh**2
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
+        x._accumulate(grad * (0.5 * (1.0 + tanh) + 0.5 * x.data * sech2 * d_inner))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out**2))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (grad - dot))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+
+    def backward(grad: np.ndarray) -> None:
+        softmax_val = np.exp(out)
+        x._accumulate(grad - softmax_val * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+# --------------------------------------------------------------------------- pooling
+def max_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None,
+               padding: IntOrPair = 0) -> Tensor:
+    """Max pooling over NCHW input."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+
+    n, c, h, w = x.shape
+    data = x.data
+    if ph or pw:
+        data = np.pad(
+            data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant",
+            constant_values=-np.inf,
+        )
+    hp, wp = data.shape[2], data.shape[3]
+    out_h = (hp - kh) // sh + 1
+    out_w = (wp - kw) // sw + 1
+
+    # Build windows via as_strided for speed; copy to avoid aliasing surprises.
+    strides = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+    )
+    windows = windows.reshape(n, c, out_h, out_w, kh * kw)
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_padded = np.zeros((n, c, hp, wp), dtype=x.data.dtype)
+        ky, kx = np.unravel_index(argmax, (kh, kw))
+        oy = np.arange(out_h).reshape(1, 1, out_h, 1) * sh
+        ox = np.arange(out_w).reshape(1, 1, 1, out_w) * sw
+        rows = (oy + ky).reshape(n, c, -1)
+        cols = (ox + kx).reshape(n, c, -1)
+        ni = np.arange(n).reshape(n, 1, 1)
+        ci = np.arange(c).reshape(1, c, 1)
+        np.add.at(grad_padded, (ni, ci, rows, cols), grad.reshape(n, c, -1))
+        if ph or pw:
+            grad_padded = grad_padded[:, :, ph:hp - ph if ph else hp, pw:wp - pw if pw else wp]
+        x._accumulate(grad_padded)
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None,
+               padding: IntOrPair = 0) -> Tensor:
+    """Average pooling over NCHW input."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    ph, pw = _pair(padding)
+    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), (sh, sw), (ph, pw))
+    n, c = x.shape[0], x.shape[1]
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, c, 1, out_h * out_w) / (kh * kw)
+        g = np.broadcast_to(g, (n, c, kh * kw, out_h * out_w)).reshape(n, c * kh * kw, -1)
+        x._accumulate(_col2im(g, x.shape, (kh, kw), (sh, sw), (ph, pw)))
+
+    return Tensor._make(out.astype(np.float32), (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: IntOrPair = 1) -> Tensor:
+    """Adaptive average pooling; only output sizes that evenly divide are supported."""
+    oh, ow = _pair(output_size)
+    n, c, h, w = x.shape
+    if h % oh or w % ow:
+        raise ValueError(f"adaptive_avg_pool2d requires divisible sizes, got {h}x{w} -> {oh}x{ow}")
+    return avg_pool2d(x, (h // oh, w // ow), stride=(h // oh, w // ow))
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dimensions, keeping NCHW rank with H=W=1."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+# --------------------------------------------------------------------------- resize / merge
+def upsample_nearest2d(x: Tensor, scale_factor: int = 2) -> Tensor:
+    """Nearest-neighbour upsampling by an integer factor."""
+    x = as_tensor(x)
+    s = int(scale_factor)
+    out = x.data.repeat(s, axis=2).repeat(s, axis=3)
+    n, c, h, w = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad.reshape(n, c, h, s, w, s).sum(axis=(3, 5))
+        x._accumulate(g)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate tensors along ``axis`` (channel axis by default)."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.shape[axis] for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        offsets = np.cumsum([0] + sizes)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+def pad2d(x: Tensor, padding: Tuple[int, int, int, int], value: float = 0.0) -> Tensor:
+    """Pad the spatial dims of NCHW input by ``(top, bottom, left, right)``."""
+    x = as_tensor(x)
+    top, bottom, left, right = padding
+    out = np.pad(
+        x.data, ((0, 0), (0, 0), (top, bottom), (left, right)),
+        mode="constant", constant_values=value,
+    )
+    h, w = x.shape[2], x.shape[3]
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[:, :, top:top + h, left:left + w])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    """Flatten all dimensions from ``start_dim`` onwards."""
+    shape = x.shape[:start_dim] + (int(np.prod(x.shape[start_dim:])),)
+    return x.reshape(*shape)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity at evaluation time."""
+    if not training or p <= 0.0:
+        return x
+    from repro.utils.rng import default_rng
+
+    rng = rng if rng is not None else default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    x = as_tensor(x)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)

@@ -1,0 +1,171 @@
+"""Computational-graph tracing at the module level.
+
+Algorithm 1 of the paper derives parent→child layer couplings from the model's
+computational graph (the paper obtains it "using the gradients obtained from
+backpropagation"; any faithful connectivity record works).  Here the graph is
+captured with forward hooks: every *leaf* module (a module without children, i.e.
+Conv2d, BatchNorm2d, activations, Concat, Add, ...) is a node, and an edge A→B is
+added whenever a tensor produced by A is consumed by B.
+
+Two views are exposed:
+
+* :meth:`ModelGraph.module_graph` — the full leaf-module graph (networkx DiGraph).
+* :meth:`ModelGraph.conv_graph` — the projection onto Conv2d nodes only, where an
+  edge means "the output of this convolution reaches that convolution without
+  passing through another convolution".  This is the graph Algorithm 1 walks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+def _iter_tensors(value) -> Iterable[Tensor]:
+    """Yield every Tensor contained in a (possibly nested) argument structure."""
+    if isinstance(value, Tensor):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _iter_tensors(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _iter_tensors(item)
+
+
+class ModelGraph:
+    """Traced computational graph of a model.
+
+    Parameters
+    ----------
+    model:
+        The model whose graph was traced.
+    graph:
+        Directed graph over leaf-module names.
+    """
+
+    def __init__(self, model: Module, graph: nx.DiGraph) -> None:
+        self.model = model
+        self._graph = graph
+
+    # ------------------------------------------------------------------ views
+    def module_graph(self) -> nx.DiGraph:
+        """The full leaf-module graph (copy-safe reference)."""
+        return self._graph
+
+    def conv_graph(self) -> nx.DiGraph:
+        """Project the module graph onto convolution nodes.
+
+        An edge conv_a → conv_b is added when there is a path from conv_a to conv_b
+        in the module graph that does not pass through any other convolution.
+        """
+        conv_names = {
+            name for name, data in self._graph.nodes(data=True)
+            if isinstance(data.get("module"), Conv2d)
+        }
+        projected = nx.DiGraph()
+        for name in conv_names:
+            projected.add_node(name, module=self._graph.nodes[name]["module"])
+
+        for source in conv_names:
+            # Breadth-first search that stops whenever another conv is reached.
+            frontier = list(self._graph.successors(source))
+            visited = set(frontier)
+            while frontier:
+                node = frontier.pop()
+                if node in conv_names:
+                    projected.add_edge(source, node)
+                    continue
+                for successor in self._graph.successors(node):
+                    if successor not in visited:
+                        visited.add(successor)
+                        frontier.append(successor)
+        return projected
+
+    # ------------------------------------------------------------------ queries
+    def conv_layers(self) -> Dict[str, Conv2d]:
+        """Mapping of qualified name → Conv2d for every traced convolution."""
+        return {
+            name: data["module"]
+            for name, data in self._graph.nodes(data=True)
+            if isinstance(data.get("module"), Conv2d)
+        }
+
+    def roots(self) -> List[str]:
+        """Nodes with no predecessors (model inputs feed these directly)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+
+def _leaf_modules(model: Module) -> List[Tuple[str, Module]]:
+    """Return (qualified name, module) for every module without children."""
+    leaves = []
+    for name, module in model.named_modules():
+        if not name:
+            continue
+        if next(module.children(), None) is None:
+            leaves.append((name, module))
+    return leaves
+
+
+def trace(model: Module, example_input: Tensor) -> ModelGraph:
+    """Run ``model(example_input)`` once and record the leaf-module graph.
+
+    The model is temporarily put in ``eval`` mode so that tracing has no side
+    effects on BatchNorm running statistics.
+    """
+    graph = nx.DiGraph()
+    producer_of: Dict[int, str] = {}
+    removals = []
+    was_training = model.training
+
+    leaves = _leaf_modules(model)
+    for name, module in leaves:
+        graph.add_node(name, module=module)
+
+    def find_producers(tensor: Tensor, visited: set) -> List[str]:
+        """Producers of a tensor, walking through non-module ops (adds, concats,
+        reshapes done with plain tensor operators) via the autograd parents."""
+        if id(tensor) in visited:
+            return []
+        visited.add(id(tensor))
+        direct = producer_of.get(id(tensor))
+        if direct is not None:
+            return [direct]
+        producers: List[str] = []
+        for parent in tensor._parents:
+            producers.extend(find_producers(parent, visited))
+        return producers
+
+    def make_hook(name: str):
+        def hook(module: Module, inputs, output) -> None:
+            for tensor in _iter_tensors(inputs):
+                for source in find_producers(tensor, set()):
+                    if source != name:
+                        graph.add_edge(source, name)
+            for tensor in _iter_tensors(output):
+                producer_of[id(tensor)] = name
+
+        return hook
+
+    try:
+        model.eval()
+        for name, module in leaves:
+            removals.append(module.register_forward_hook(make_hook(name)))
+        model(example_input)
+    finally:
+        for remove in removals:
+            remove()
+        model.train(was_training)
+
+    return ModelGraph(model, graph)

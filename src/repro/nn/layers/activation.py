@@ -1,0 +1,82 @@
+"""Activation modules (thin wrappers over :mod:`repro.nn.functional`)."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.1) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class SiLU(Module):
+    """Sigmoid-weighted linear unit, the default YOLOv5 activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Hardswish(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardswish(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = int(axis)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+    def extra_repr(self) -> str:
+        return f"axis={self.axis}"
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "silu": SiLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "hardswish": Hardswish,
+    "gelu": GELU,
+}
+
+
+def build_activation(name: str) -> Module:
+    """Factory used by model configuration files (e.g. ``act="silu"``)."""
+    key = name.lower()
+    if key not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[key]()

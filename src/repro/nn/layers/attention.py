@@ -1,0 +1,115 @@
+"""Attention and transformer blocks (needed for the DETR comparison model).
+
+The DETR entry in Table 2 of the paper is a transformer-based detector; we build a
+faithful (if compact) encoder/decoder so its parameter count and layer census are
+real, not hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.activation import GELU, ReLU
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled dot-product multi-head attention.
+
+    Inputs are ``(batch, tokens, embed_dim)``; query/key/value may differ (cross
+    attention in the DETR decoder).
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError(f"embed_dim={embed_dim} not divisible by num_heads={num_heads}")
+        self.embed_dim = int(embed_dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, tokens, _ = x.shape
+        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, tokens, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, tokens, heads * head_dim)
+
+    def forward(self, query: Tensor, key: Optional[Tensor] = None,
+                value: Optional[Tensor] = None) -> Tensor:
+        key = key if key is not None else query
+        value = value if value is not None else key
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ v
+        return self.out_proj(self._merge_heads(context))
+
+    def extra_repr(self) -> str:
+        return f"embed_dim={self.embed_dim}, num_heads={self.num_heads}"
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network of a transformer block."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.fc1 = Linear(embed_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, embed_dim, rng=rng)
+        self.act = GELU() if activation == "gelu" else ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder layer."""
+
+    def __init__(self, embed_dim: int, num_heads: int, ffn_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.self_attn = MultiHeadAttention(embed_dim, num_heads, rng=rng)
+        self.ffn = FeedForward(embed_dim, ffn_dim, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.self_attn(self.norm1(x))
+        x = x + self.ffn(self.norm2(x))
+        return x
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm transformer decoder layer with cross attention to encoder memory."""
+
+    def __init__(self, embed_dim: int, num_heads: int, ffn_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.self_attn = MultiHeadAttention(embed_dim, num_heads, rng=rng)
+        self.cross_attn = MultiHeadAttention(embed_dim, num_heads, rng=rng)
+        self.ffn = FeedForward(embed_dim, ffn_dim, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.norm3 = LayerNorm(embed_dim)
+
+    def forward(self, queries: Tensor, memory: Tensor) -> Tensor:
+        queries = queries + self.self_attn(self.norm1(queries))
+        queries = queries + self.cross_attn(self.norm2(queries), memory, memory)
+        queries = queries + self.ffn(self.norm3(queries))
+        return queries

@@ -1,0 +1,48 @@
+"""Feature-map merging modules (skip connections, concatenations).
+
+These are first-class modules rather than inline ops so the graph tracer sees them
+and Algorithm 1 can follow parent-child couplings through residual and concat paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class Concat(Module):
+    """Concatenate a list of feature maps along the channel axis."""
+
+    def __init__(self, axis: int = 1) -> None:
+        super().__init__()
+        self.axis = int(axis)
+
+    def forward(self, tensors: Sequence[Tensor]) -> Tensor:
+        return F.concat(list(tensors), axis=self.axis)
+
+    def extra_repr(self) -> str:
+        return f"axis={self.axis}"
+
+
+class Add(Module):
+    """Element-wise sum of two feature maps (residual shortcut)."""
+
+    def forward(self, a: Tensor, b: Tensor) -> Tensor:
+        return a + b
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = int(start_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.flatten(x, self.start_dim)
+
+    def extra_repr(self) -> str:
+        return f"start_dim={self.start_dim}"

@@ -1,0 +1,88 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NCHW channels.
+
+    The learnable scale ``gamma`` is what Network Slimming (one of the compared
+    baselines) uses as its channel-importance score, so it is exposed by name.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.03) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32), name="weight")
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32), name="bias")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension (transformer blocks)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = int(normalized_shape)
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32), name="weight")
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def extra_repr(self) -> str:
+        return f"{self.normalized_shape}, eps={self.eps}"
+
+
+class GroupNorm(Module):
+    """Group normalisation (used by the RetinaNet heads in some configurations)."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(f"channels {num_channels} not divisible by groups {num_groups}")
+        self.num_groups = int(num_groups)
+        self.num_channels = int(num_channels)
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(num_channels, dtype=np.float32), name="weight")
+        self.bias = Parameter(np.zeros(num_channels, dtype=np.float32), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, self.num_groups, c // self.num_groups * h * w)
+        mean = grouped.mean(axis=2, keepdims=True)
+        centered = grouped - mean
+        var = (centered * centered).mean(axis=2, keepdims=True)
+        normalised = centered / (var + self.eps) ** 0.5
+        out = normalised.reshape(n, c, h, w)
+        # Reshape the learnable parameters through autograd-aware views so their
+        # gradients flow during fine-tuning.
+        return out * self.weight.reshape(1, c, 1, 1) + self.bias.reshape(1, c, 1, 1)
+
+    def extra_repr(self) -> str:
+        return f"{self.num_groups}, {self.num_channels}, eps={self.eps}"

@@ -1,0 +1,29 @@
+"""Baseline pruning frameworks compared against R-TOSS (paper Section V.C)."""
+
+from repro.pruning.base import Pruner, global_magnitude_threshold, prunable_conv_layers
+from repro.pruning.channel_pruning import NetworkSlimmingPruner, find_conv_bn_pairs
+from repro.pruning.connectivity import connectivity_mask, prune_layer_connectivity
+from repro.pruning.filter_pruning import FilterPruner
+from repro.pruning.gradient import GradientMagnitudePruner
+from repro.pruning.magnitude import MagnitudePruner
+from repro.pruning.neural_pruning import NeuralPruner
+from repro.pruning.patdnn import PatDNNPruner
+from repro.pruning.schedule import (
+    IterationRecord,
+    IterativeSchedule,
+    run_iterative_pruning,
+)
+from repro.pruning.synflow import SynFlowPruner
+
+__all__ = [
+    "Pruner", "global_magnitude_threshold", "prunable_conv_layers",
+    "NetworkSlimmingPruner", "find_conv_bn_pairs",
+    "connectivity_mask", "prune_layer_connectivity",
+    "FilterPruner",
+    "GradientMagnitudePruner",
+    "MagnitudePruner",
+    "NeuralPruner",
+    "PatDNNPruner",
+    "IterationRecord", "IterativeSchedule", "run_iterative_pruning",
+    "SynFlowPruner",
+]

@@ -1,0 +1,97 @@
+"""Channel pruning via BatchNorm scale factors — the "NS" (Network Slimming) baseline.
+
+Network Slimming (Liu et al.) ranks channels by the absolute value of the BatchNorm
+scale (gamma) that follows each convolution and removes the lowest-scoring channels
+globally.  Here the convolution → BatchNorm pairing is discovered structurally
+(a BatchNorm2d registered immediately after a Conv2d inside the same parent module,
+the universal pattern in the model zoo), and pruning a channel zeroes the
+corresponding convolution filter and BatchNorm scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.masks import PruningMask
+from repro.core.report import PruningReport, build_layer_report
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner
+
+
+def find_conv_bn_pairs(model: Module) -> List[Tuple[str, Conv2d, str, BatchNorm2d]]:
+    """(conv name, conv, bn name, bn) for every Conv2d directly followed by a BatchNorm2d."""
+    pairs = []
+    for parent_name, parent in model.named_modules():
+        children = list(parent.named_children())
+        for index, (child_name, child) in enumerate(children):
+            if not isinstance(child, Conv2d):
+                continue
+            # Look at the next sibling module for the BatchNorm.
+            if index + 1 < len(children) and isinstance(children[index + 1][1], BatchNorm2d):
+                bn_name, bn = children[index + 1]
+                if bn.num_features != child.out_channels:
+                    continue
+                conv_full = f"{parent_name}.{child_name}" if parent_name else child_name
+                bn_full = f"{parent_name}.{bn_name}" if parent_name else bn_name
+                pairs.append((conv_full, child, bn_full, bn))
+    return pairs
+
+
+class NetworkSlimmingPruner(Pruner):
+    """Global BatchNorm-gamma channel pruning."""
+
+    name = "NS"
+
+    def __init__(self, channel_ratio: float = 0.4, min_channels: int = 2) -> None:
+        if not 0.0 <= channel_ratio < 1.0:
+            raise ValueError(f"channel_ratio must be in [0, 1), got {channel_ratio}")
+        self.channel_ratio = float(channel_ratio)
+        self.min_channels = int(min_channels)
+
+    def prune(self, model: Module, example_input: Optional[Tensor] = None,
+              model_name: Optional[str] = None) -> PruningReport:
+        report = PruningReport(
+            framework=self.name,
+            model_name=model_name or type(model).__name__,
+            total_parameters=model.num_parameters(),
+        )
+        pairs = find_conv_bn_pairs(model)
+        if not pairs:
+            return report
+
+        for conv_name, conv, bn_name, bn in pairs:
+            gamma = np.abs(bn.weight.data)
+            # Untrained (or freshly re-initialised) BatchNorm scales are all equal;
+            # the filter L2 norm breaks those ties so the criterion stays meaningful
+            # on randomly initialised models as well as trained ones.
+            out_channels = conv.weight.data.shape[0]
+            filter_norms = np.sqrt(
+                (conv.weight.data.reshape(out_channels, -1) ** 2).sum(axis=1)
+            )
+            norm_scale = filter_norms.max() if filter_norms.max() > 0 else 1.0
+            score = gamma + 1e-3 * filter_norms / norm_scale
+
+            num_prune = int(round(out_channels * self.channel_ratio))
+            num_prune = min(num_prune, max(out_channels - self.min_channels, 0))
+            pruned_channels = np.zeros(out_channels, dtype=bool)
+            if num_prune > 0:
+                pruned_channels[np.argsort(score)[:num_prune]] = True
+
+            conv_mask = np.ones_like(conv.weight.data, dtype=np.float32)
+            conv_mask[pruned_channels] = 0.0
+            bn_mask = np.ones_like(bn.weight.data, dtype=np.float32)
+            bn_mask[pruned_channels] = 0.0
+
+            report.masks.add(PruningMask(conv_name, "weight", conv_mask))
+            report.masks.add(PruningMask(bn_name, "weight", bn_mask))
+            report.layers.append(build_layer_report(conv_name, conv, conv_mask, "bn-channel"))
+        report.masks.apply(model)
+        return report
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None):
+        raise NotImplementedError("NetworkSlimmingPruner overrides prune() directly")

@@ -1,0 +1,44 @@
+"""Structured filter pruning — the "PF" baseline (Li et al., Pruning Filters).
+
+Whole output filters with the smallest L1 weight norms are removed (their weights
+zeroed).  This is the classic structured-pruning baseline of Fig. 1(c).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner, prunable_conv_layers
+
+
+class FilterPruner(Pruner):
+    """Zero the ``ratio`` fraction of filters with smallest L1 norm in every layer."""
+
+    name = "PF"
+
+    def __init__(self, ratio: float = 0.4, skip_names: Tuple[str, ...] = (),
+                 min_filters: int = 2) -> None:
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError(f"ratio must be in [0, 1), got {ratio}")
+        self.ratio = float(ratio)
+        self.skip_names = skip_names
+        self.min_filters = int(min_filters)
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None
+                      ) -> Iterable[Tuple[str, Conv2d, np.ndarray, str]]:
+        for name, layer in prunable_conv_layers(model, self.skip_names).items():
+            weight = layer.weight.data
+            out_channels = weight.shape[0]
+            num_prune = int(out_channels * self.ratio)
+            num_prune = min(num_prune, max(out_channels - self.min_filters, 0))
+            mask = np.ones_like(weight, dtype=np.float32)
+            if num_prune > 0:
+                l1_norms = np.abs(weight).reshape(out_channels, -1).sum(axis=1)
+                prune_idx = np.argsort(l1_norms)[:num_prune]
+                mask[prune_idx] = 0.0
+            yield name, layer, mask, "filter-l1"

@@ -1,0 +1,62 @@
+"""Gradient-magnitude (saliency) pruning — SNIP-style baseline from Section II.B.
+
+Weights are scored by ``|weight * gradient|`` computed from one (or a few) batches;
+the lowest-saliency weights are pruned.  This is the "gradient magnitude pruning"
+family the paper cites ([15], [16]) among unstructured approaches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner, prunable_conv_layers
+
+
+class GradientMagnitudePruner(Pruner):
+    """Prune weights with the smallest ``|w * dL/dw|`` saliency.
+
+    Parameters
+    ----------
+    loss_fn:
+        Callable ``loss_fn(model) -> Tensor`` producing a scalar loss on a
+        representative batch; its backward pass provides the gradients.
+    sparsity:
+        Global fraction of convolution weights to remove.
+    """
+
+    name = "SNIP"
+
+    def __init__(self, loss_fn: Callable[[Module], Tensor], sparsity: float = 0.5,
+                 skip_names: Tuple[str, ...] = ()) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        self.loss_fn = loss_fn
+        self.sparsity = float(sparsity)
+        self.skip_names = skip_names
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None
+                      ) -> Iterable[Tuple[str, Conv2d, np.ndarray, str]]:
+        model.zero_grad()
+        loss = self.loss_fn(model)
+        loss.backward()
+
+        layers = prunable_conv_layers(model, self.skip_names)
+        saliencies = {}
+        all_scores = []
+        for name, layer in layers.items():
+            grad = layer.weight.grad
+            if grad is None:
+                grad = np.zeros_like(layer.weight.data)
+            score = np.abs(layer.weight.data * grad)
+            saliencies[name] = score
+            all_scores.append(score.reshape(-1))
+        threshold = np.quantile(np.concatenate(all_scores), self.sparsity) if all_scores else 0.0
+
+        for name, layer in layers.items():
+            mask = (saliencies[name] > threshold).astype(np.float32)
+            yield name, layer, mask, "gradient-saliency"

@@ -1,0 +1,51 @@
+"""Unstructured weight-magnitude pruning — the "NMS" baseline.
+
+The paper compares against Neural Magic SparseML (NMS), "an unstructured weight
+pruning approach that uses the magnitude of the weights in a layer, with the weights
+below a threshold being pruned".  Both a per-layer and a global-threshold variant are
+provided; the comparison experiments use the per-layer variant, matching SparseML's
+uniform-sparsity default.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner, global_magnitude_threshold, prunable_conv_layers
+
+
+class MagnitudePruner(Pruner):
+    """Prune the smallest-magnitude weights of every convolution layer."""
+
+    name = "NMS"
+
+    def __init__(self, sparsity: float = 0.60, scope: str = "layer",
+                 skip_names: Tuple[str, ...] = ()) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        if scope not in ("layer", "global"):
+            raise ValueError("scope must be 'layer' or 'global'")
+        self.sparsity = float(sparsity)
+        self.scope = scope
+        self.skip_names = skip_names
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None
+                      ) -> Iterable[Tuple[str, Conv2d, np.ndarray, str]]:
+        layers = prunable_conv_layers(model, self.skip_names)
+        threshold = None
+        if self.scope == "global":
+            threshold = global_magnitude_threshold(layers, self.sparsity)
+        for name, layer in layers.items():
+            weight = layer.weight.data
+            magnitude = np.abs(weight)
+            if self.scope == "layer":
+                cutoff = np.quantile(magnitude, self.sparsity) if self.sparsity > 0 else -1.0
+            else:
+                cutoff = threshold
+            mask = (magnitude > cutoff).astype(np.float32)
+            yield name, layer, mask, f"magnitude-{self.scope}"

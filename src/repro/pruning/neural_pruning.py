@@ -1,0 +1,87 @@
+"""Neural pruning — the "NP" baseline (Wang et al., growing regularisation).
+
+The paper describes NP as "a combination of filter pruning along with unstructured
+weight pruning where L1 norm is used to perform weight pruning and L2 regularisation
+is used to perform filter pruning".  The reproduction follows that description:
+
+1. a growing L2 penalty is (optionally) simulated by shrinking each filter towards
+   zero proportionally to its inverse L2 norm for a few virtual regularisation
+   rounds, which mimics how growing regularisation separates important from
+   unimportant filters,
+2. filters whose regularised L2 norm falls in the lowest ``filter_ratio`` quantile
+   are removed,
+3. the surviving weights are additionally pruned with a per-layer L1-magnitude
+   threshold at ``weight_sparsity``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner, prunable_conv_layers
+
+
+class NeuralPruner(Pruner):
+    """Growing-regularisation filter pruning + unstructured L1 weight pruning."""
+
+    name = "NP"
+
+    def __init__(self, filter_ratio: float = 0.25, weight_sparsity: float = 0.30,
+                 regularisation_rounds: int = 4, regularisation_strength: float = 0.1,
+                 skip_names: Tuple[str, ...] = (), min_filters: int = 2) -> None:
+        if not 0.0 <= filter_ratio < 1.0:
+            raise ValueError("filter_ratio must be in [0, 1)")
+        if not 0.0 <= weight_sparsity < 1.0:
+            raise ValueError("weight_sparsity must be in [0, 1)")
+        self.filter_ratio = float(filter_ratio)
+        self.weight_sparsity = float(weight_sparsity)
+        self.regularisation_rounds = int(regularisation_rounds)
+        self.regularisation_strength = float(regularisation_strength)
+        self.skip_names = skip_names
+        self.min_filters = int(min_filters)
+
+    def _regularised_norms(self, weight: np.ndarray) -> np.ndarray:
+        """Simulate growing L2 regularisation on a copy of the filter norms."""
+        out_channels = weight.shape[0]
+        norms = np.sqrt((weight.reshape(out_channels, -1) ** 2).sum(axis=1))
+        if norms.max() <= 0:
+            return norms
+        reference = np.median(norms[norms > 0]) if (norms > 0).any() else 1.0
+        for _ in range(self.regularisation_rounds):
+            # Filters below the running median are pushed down harder each round —
+            # the "growing" part of growing regularisation.
+            penalty = self.regularisation_strength * (reference / np.maximum(norms, 1e-6))
+            norms = norms / (1.0 + penalty)
+        return norms
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None
+                      ) -> Iterable[Tuple[str, Conv2d, np.ndarray, str]]:
+        for name, layer in prunable_conv_layers(model, self.skip_names).items():
+            weight = layer.weight.data
+            out_channels = weight.shape[0]
+            mask = np.ones_like(weight, dtype=np.float32)
+
+            # Stage 1: filter pruning by regularised L2 norm.
+            num_prune = int(out_channels * self.filter_ratio)
+            num_prune = min(num_prune, max(out_channels - self.min_filters, 0))
+            if num_prune > 0:
+                norms = self._regularised_norms(weight)
+                prune_idx = np.argsort(norms)[:num_prune]
+                mask[prune_idx] = 0.0
+
+            # Stage 2: L1 unstructured pruning of the surviving weights.
+            if self.weight_sparsity > 0:
+                surviving = np.abs(weight[mask > 0])
+                if surviving.size:
+                    cutoff = np.quantile(surviving, self.weight_sparsity)
+                    mask *= (np.abs(weight) > cutoff).astype(np.float32) + (mask == 0)
+                    mask = np.clip(mask, 0.0, 1.0)
+                    # Re-zero the pruned filters (the previous line may have re-added them).
+                    if num_prune > 0:
+                        mask[prune_idx] = 0.0
+            yield name, layer, mask, "growing-reg+l1"

@@ -1,0 +1,58 @@
+"""PATDNN-style pattern pruning — the "PD" baseline.
+
+PATDNN (Niu et al., ASPLOS 2020) prunes 3x3 kernels with **4-entry patterns** and
+adds **connectivity pruning** (removing whole kernels) to reach higher sparsity.
+Unlike R-TOSS it does not touch 1x1 kernels, which is exactly the shortcoming the
+paper's Section III motivates against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernel_pruning import prune_3x3_layer
+from repro.core.patterns import PatternLibrary, build_pattern_library
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner, prunable_conv_layers
+from repro.pruning.connectivity import connectivity_mask
+
+
+class PatDNNPruner(Pruner):
+    """4-entry pattern pruning on 3x3 kernels plus connectivity pruning."""
+
+    name = "PD"
+
+    def __init__(self, entries: int = 4, connectivity_ratio: float = 0.30,
+                 max_patterns: Optional[int] = 8, seed: int = 0,
+                 skip_names: Tuple[str, ...] = ()) -> None:
+        if not 0.0 <= connectivity_ratio < 1.0:
+            raise ValueError("connectivity_ratio must be in [0, 1)")
+        self.entries = int(entries)
+        self.connectivity_ratio = float(connectivity_ratio)
+        self.max_patterns = max_patterns
+        self.seed = int(seed)
+        self.skip_names = skip_names
+        self._library: Optional[PatternLibrary] = None
+
+    @property
+    def library(self) -> PatternLibrary:
+        """The 4-entry pattern library (PATDNN uses a handful of 4-entry patterns)."""
+        if self._library is None:
+            self._library = build_pattern_library(self.entries, self.max_patterns, seed=self.seed)
+        return self._library
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None
+                      ) -> Iterable[Tuple[str, Conv2d, np.ndarray, str]]:
+        for name, layer in prunable_conv_layers(model, self.skip_names).items():
+            if not layer.is_spatial_3x3:
+                # PATDNN leaves 1x1 (and other) kernels dense.
+                continue
+            assignment = prune_3x3_layer(layer, self.library)
+            mask = assignment.mask
+            if self.connectivity_ratio > 0:
+                mask = mask * connectivity_mask(layer.weight.data, self.connectivity_ratio)
+            yield name, layer, mask, f"patdnn-{self.entries}ep+connectivity"

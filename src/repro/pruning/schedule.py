@@ -1,0 +1,96 @@
+"""Iterative prune → fine-tune schedules.
+
+The paper's framework is described as "an iterative pruning scheme with several
+optimizations".  This module provides the generic iterative loop: prune a fraction
+of the remaining weights, fine-tune for a few steps with the masks pinned, repeat.
+It works with any pruner that produces a :class:`MaskSet` and any training callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.masks import MaskSet
+from repro.core.report import PruningReport
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+FineTuneCallback = Callable[[Module, MaskSet, int], float]
+PrunerFactory = Callable[[float], "object"]
+
+
+@dataclass
+class IterationRecord:
+    """Bookkeeping for one prune/fine-tune round."""
+
+    iteration: int
+    target_sparsity: float
+    achieved_sparsity: float
+    compression_ratio: float
+    finetune_metric: Optional[float] = None
+
+
+@dataclass
+class IterativeSchedule:
+    """Geometric sparsity schedule: each round prunes a share of the final target."""
+
+    final_sparsity: float = 0.6
+    num_iterations: int = 3
+    start_sparsity: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.final_sparsity < 1.0:
+            raise ValueError("final_sparsity must be in (0, 1)")
+        if self.num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        if not 0.0 <= self.start_sparsity <= self.final_sparsity:
+            raise ValueError("start_sparsity must be in [0, final_sparsity]")
+
+    def sparsity_at(self, iteration: int) -> float:
+        """Cubic ramp from start to final sparsity (the AGP-style schedule)."""
+        if self.num_iterations == 1:
+            return self.final_sparsity
+        progress = iteration / (self.num_iterations - 1)
+        progress = min(max(progress, 0.0), 1.0)
+        ramp = 1.0 - (1.0 - progress) ** 3
+        return self.start_sparsity + (self.final_sparsity - self.start_sparsity) * ramp
+
+
+def run_iterative_pruning(
+    model: Module,
+    pruner_factory: PrunerFactory,
+    schedule: IterativeSchedule,
+    example_input: Optional[Tensor] = None,
+    finetune: Optional[FineTuneCallback] = None,
+    model_name: Optional[str] = None,
+) -> List[IterationRecord]:
+    """Run the iterative prune → fine-tune loop.
+
+    Parameters
+    ----------
+    pruner_factory:
+        Called with the round's target sparsity and must return an object with a
+        ``prune(model, example_input, model_name) -> PruningReport`` method.
+    finetune:
+        Optional callback ``finetune(model, masks, iteration) -> metric``; it must
+        keep pruned weights at zero (call ``masks.reapply(model)`` after optimiser
+        steps) and may return a validation metric that is recorded.
+    """
+    records: List[IterationRecord] = []
+    for iteration in range(schedule.num_iterations):
+        target = schedule.sparsity_at(iteration)
+        pruner = pruner_factory(target)
+        report: PruningReport = pruner.prune(model, example_input, model_name)
+        metric = None
+        if finetune is not None:
+            metric = finetune(model, report.masks, iteration)
+            report.masks.reapply(model)
+        records.append(IterationRecord(
+            iteration=iteration,
+            target_sparsity=target,
+            achieved_sparsity=report.overall_sparsity,
+            compression_ratio=report.compression_ratio,
+            finetune_metric=metric,
+        ))
+    return records

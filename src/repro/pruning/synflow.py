@@ -1,0 +1,110 @@
+"""Synaptic-flow pruning (SynFlow) — iterative, data-free baseline from Section II.B.
+
+SynFlow (Tanaka et al.) scores each weight by the "synaptic flow" through it,
+computed on an all-ones input with all weights replaced by their absolute values,
+and prunes iteratively with an exponentially decreasing keep ratio so that the
+global score never collapses in a single step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.pruning.base import Pruner, prunable_conv_layers
+
+
+class SynFlowPruner(Pruner):
+    """Iterative synaptic-flow pruning of convolution weights."""
+
+    name = "SynFlow"
+
+    def __init__(self, sparsity: float = 0.5, iterations: int = 5,
+                 input_shape: Tuple[int, int, int, int] = (1, 3, 32, 32),
+                 skip_names: Tuple[str, ...] = ()) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        self.sparsity = float(sparsity)
+        self.iterations = max(int(iterations), 1)
+        self.input_shape = input_shape
+        self.skip_names = skip_names
+
+    def _synflow_scores(self, model: Module, layers: Dict[str, Conv2d],
+                        masks: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """One SynFlow scoring pass: R = sum(model(|W|, ones)); score = |w * dR/dw|."""
+        originals = {name: layer.weight.data.copy() for name, layer in layers.items()}
+        try:
+            for name, layer in layers.items():
+                layer.weight.data = np.abs(originals[name]) * masks[name]
+            model.zero_grad()
+            ones = Tensor(np.ones(self.input_shape, dtype=np.float32))
+            output = model(ones)
+            score_sum = _sum_outputs(output)
+            score_sum.backward()
+            scores = {}
+            for name, layer in layers.items():
+                grad = layer.weight.grad
+                if grad is None:
+                    grad = np.zeros_like(layer.weight.data)
+                scores[name] = np.abs(layer.weight.data * grad)
+            return scores
+        finally:
+            for name, layer in layers.items():
+                layer.weight.data = originals[name]
+
+    def compute_masks(self, model: Module, example_input: Optional[Tensor] = None
+                      ) -> Iterable[Tuple[str, Conv2d, np.ndarray, str]]:
+        was_training = model.training
+        model.eval()
+        layers = prunable_conv_layers(model, self.skip_names)
+        masks = {name: np.ones_like(layer.weight.data, dtype=np.float32)
+                 for name, layer in layers.items()}
+        try:
+            for step in range(1, self.iterations + 1):
+                # Exponential sparsity schedule: keep = (1 - s) ** (step / total).
+                keep_target = (1.0 - self.sparsity) ** (step / self.iterations)
+                scores = self._synflow_scores(model, layers, masks)
+                all_scores = np.concatenate([
+                    scores[name][masks[name] > 0].reshape(-1) for name in layers
+                    if (masks[name] > 0).any()
+                ])
+                if all_scores.size == 0:
+                    break
+                total = sum(m.size for m in masks.values())
+                kept = sum(int(m.sum()) for m in masks.values())
+                target_kept = int(total * keep_target)
+                num_to_prune = max(kept - target_kept, 0)
+                if num_to_prune == 0:
+                    continue
+                threshold = np.partition(all_scores, num_to_prune - 1)[num_to_prune - 1]
+                for name in layers:
+                    prune_here = (scores[name] <= threshold) & (masks[name] > 0)
+                    masks[name][prune_here] = 0.0
+        finally:
+            model.train(was_training)
+
+        for name, layer in layers.items():
+            yield name, layer, masks[name], "synflow"
+
+
+def _sum_outputs(output) -> Tensor:
+    """Sum a model output that may be a Tensor, list of Tensors or dict of lists."""
+    if isinstance(output, Tensor):
+        return output.sum()
+    if isinstance(output, dict):
+        total = None
+        for value in output.values():
+            partial = _sum_outputs(value)
+            total = partial if total is None else total + partial
+        return total
+    if isinstance(output, (list, tuple)):
+        total = None
+        for value in output:
+            partial = _sum_outputs(value)
+            total = partial if total is None else total + partial
+        return total
+    raise TypeError(f"cannot sum model output of type {type(output)!r}")

@@ -1,0 +1,16 @@
+"""Shared utilities: seeded RNG, logging, timers and serialization helpers."""
+
+from repro.utils.rng import default_rng, set_global_seed, spawn_rng
+from repro.utils.logging import get_logger
+from repro.utils.profiling import Timer
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "default_rng",
+    "set_global_seed",
+    "spawn_rng",
+    "get_logger",
+    "Timer",
+    "load_state_dict",
+    "save_state_dict",
+]

@@ -1,0 +1,36 @@
+"""Thin wrapper around :mod:`logging` with a library-wide format."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s | %(name)s | %(levelname)s | %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the library-wide log level (e.g. ``logging.DEBUG`` or ``"DEBUG"``)."""
+    _configure_root()
+    logging.getLogger("repro").setLevel(level)

@@ -1,0 +1,54 @@
+"""Small timing helpers used by examples and the evaluation pipeline."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+@dataclass
+class RunningAverage:
+    """Numerically simple running mean used for training-loop statistics."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def update(self, value: float, n: int = 1) -> None:
+        self.total += float(value) * n
+        self.count += n
+
+    @property
+    def average(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count

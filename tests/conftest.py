@@ -1,0 +1,45 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.tiny import TinyDetector, TinyDetectorConfig
+from repro.models.yolov5 import yolov5n, yolov5s
+from repro.nn.tensor import Tensor
+from repro.utils.rng import set_global_seed
+
+
+@pytest.fixture(autouse=True)
+def _seeded():
+    """Make every test deterministic regardless of execution order."""
+    set_global_seed(0)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_model():
+    """A small detector with 3x3 and 1x1 convolutions (fast to build and run)."""
+    return TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64, base_channels=8))
+
+
+@pytest.fixture
+def tiny_input():
+    return Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+
+
+@pytest.fixture(scope="session")
+def yolov5s_model():
+    """One YOLOv5s instance shared by the (read-only) tests that need the real model."""
+    return yolov5s()
+
+
+@pytest.fixture
+def yolov5n_model():
+    return yolov5n()

@@ -1,0 +1,134 @@
+"""Pruning masks (MaskSet) and Algorithm 1 (DFS layer grouping)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dfs_grouping import group_layers_dfs, group_model, trivial_grouping
+from repro.core.masks import MaskSet, PruningMask
+from repro.nn.graph import trace
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Sequential
+from repro.nn.layers.activation import ReLU
+from repro.nn.tensor import Tensor
+
+
+class TestPruningMask:
+    def test_sparsity_and_counts(self):
+        mask = PruningMask("layer", "weight", np.array([[1, 0], [0, 0]], dtype=np.float32))
+        assert mask.sparsity == pytest.approx(0.75)
+        assert mask.kept == 1 and mask.total == 4
+        assert mask.full_name == "layer.weight"
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            PruningMask("layer", "weight", np.array([0.5, 1.0]))
+
+
+class TestMaskSet:
+    def test_add_and_iterate(self):
+        masks = MaskSet([PruningMask("a", "weight", np.ones((2, 2)))])
+        assert len(masks) == 1
+        assert "a.weight" in masks
+
+    def test_duplicate_masks_intersect(self):
+        first = PruningMask("a", "weight", np.array([1.0, 1.0, 0.0]))
+        second = PruningMask("a", "weight", np.array([1.0, 0.0, 1.0]))
+        masks = MaskSet([first, second])
+        np.testing.assert_array_equal(masks.get("a.weight").mask, [1, 0, 0])
+
+    def test_apply_zeroes_weights_and_records(self, rng):
+        model = Sequential(Conv2d(2, 2, 3, rng=rng))
+        mask_array = np.zeros(model[0].weight.shape, dtype=np.float32)
+        mask_array[0] = 1.0
+        masks = MaskSet([PruningMask("0", "weight", mask_array)])
+        masks.apply(model)
+        assert np.all(model[0].weight.data[1] == 0)
+        assert np.any(model[0].weight.data[0] != 0)
+        assert "weight" in model[0].pruning_masks
+
+    def test_apply_unknown_layer_raises(self):
+        model = Sequential(Conv2d(2, 2, 3))
+        masks = MaskSet([PruningMask("missing", "weight", np.ones((2, 2, 3, 3)))])
+        with pytest.raises(KeyError):
+            masks.apply(model)
+
+    def test_apply_shape_mismatch_raises(self):
+        model = Sequential(Conv2d(2, 2, 3))
+        masks = MaskSet([PruningMask("0", "weight", np.ones((1, 1)))])
+        with pytest.raises(ValueError):
+            masks.apply(model)
+
+    def test_reapply_after_update(self, rng):
+        model = Sequential(Conv2d(2, 2, 3, rng=rng))
+        mask_array = np.zeros(model[0].weight.shape, dtype=np.float32)
+        masks = MaskSet([PruningMask("0", "weight", mask_array)])
+        masks.apply(model)
+        model[0].weight.data += 1.0            # simulates an optimiser step
+        masks.reapply(model)
+        assert np.all(model[0].weight.data == 0)
+
+    def test_statistics(self):
+        masks = MaskSet([
+            PruningMask("a", "weight", np.array([1.0, 0.0])),
+            PruningMask("b", "weight", np.array([0.0, 0.0])),
+        ])
+        assert masks.masked_parameters() == 4
+        assert masks.pruned_parameters() == 3
+        assert masks.overall_sparsity() == pytest.approx(0.75)
+
+    def test_compression_ratio_counts_unmasked_params(self, rng):
+        model = Sequential(Conv2d(1, 1, 3, bias=False, rng=rng))
+        masks = MaskSet([PruningMask("0", "weight",
+                                     np.zeros((1, 1, 3, 3), dtype=np.float32))])
+        assert masks.compression_ratio(model) == pytest.approx(9.0)
+
+    def test_merge(self):
+        a = MaskSet([PruningMask("a", "weight", np.array([1.0, 0.0]))])
+        b = MaskSet([PruningMask("b", "weight", np.array([1.0, 1.0]))])
+        merged = a.merge(b)
+        assert len(merged) == 2
+
+
+class TestDFSGrouping:
+    def test_chain_produces_single_group(self, rng):
+        model = Sequential(Conv2d(3, 4, 3, rng=rng), ReLU(), Conv2d(4, 4, 3, rng=rng),
+                           Conv2d(4, 2, 1, padding=0, rng=rng))
+        result = group_model(model, Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32)))
+        assert result.num_layers == 3
+        assert result.num_groups == 1
+        group = result.groups[0]
+        assert group.parent == "0"
+        assert set(group.children) == {"2", "3"}
+
+    def test_every_child_has_one_parent(self, tiny_model, tiny_input):
+        result = group_model(tiny_model, tiny_input)
+        assert set(result.parent_of) == set(result.conv_layers)
+        # Parents referenced by children are themselves group parents.
+        group_parents = {g.parent for g in result.groups}
+        assert set(result.parent_of.values()) <= group_parents
+
+    def test_groups_partition_all_layers(self, tiny_model, tiny_input):
+        result = group_model(tiny_model, tiny_input)
+        members = [name for group in result.groups for name in group.members]
+        assert sorted(members) == sorted(result.conv_layers)
+        assert len(members) == len(set(members))
+
+    def test_group_of_lookup(self, tiny_model, tiny_input):
+        result = group_model(tiny_model, tiny_input)
+        any_layer = next(iter(result.conv_layers))
+        assert any_layer in result.group_of(any_layer)
+
+    def test_summary_fields(self, tiny_model, tiny_input):
+        summary = group_model(tiny_model, tiny_input).summary()
+        assert summary["num_conv_layers"] >= summary["num_groups"] >= 1
+
+    def test_grouping_reduces_group_count_vs_trivial(self, tiny_model, tiny_input):
+        dfs = group_model(tiny_model, tiny_input)
+        trivial = trivial_grouping(tiny_model)
+        assert dfs.num_groups < trivial.num_groups
+        assert trivial.num_groups == trivial.num_layers
+
+    def test_group_layers_dfs_on_traced_graph(self, tiny_model, tiny_input):
+        graph = trace(tiny_model, tiny_input)
+        result = group_layers_dfs(graph)
+        assert result.num_layers == len(graph.conv_layers())

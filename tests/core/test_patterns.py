@@ -1,0 +1,128 @@
+"""Kernel pattern generation and selection (Section IV.B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    DEFAULT_LIBRARY_SIZE,
+    KernelPattern,
+    PatternLibrary,
+    build_pattern_library,
+    connected_patterns,
+    enumerate_patterns,
+    num_candidate_patterns,
+    standard_libraries,
+)
+
+
+class TestEquationOne:
+    @pytest.mark.parametrize("k,expected", [(1, 9), (2, 36), (3, 84), (4, 126), (5, 126), (8, 9)])
+    def test_candidate_counts(self, k, expected):
+        assert num_candidate_patterns(k) == expected
+
+    def test_enumeration_matches_count(self):
+        for k in (2, 3, 4):
+            assert len(enumerate_patterns(k)) == num_candidate_patterns(k)
+
+    def test_invalid_entry_counts(self):
+        with pytest.raises(ValueError):
+            num_candidate_patterns(0)
+        with pytest.raises(ValueError):
+            num_candidate_patterns(9)
+
+
+class TestConnectivityFilter:
+    def test_adjacent_pair_is_connected(self):
+        assert KernelPattern(((0, 0), (0, 1))).is_connected()
+
+    def test_diagonal_pair_is_not_connected(self):
+        assert not KernelPattern(((0, 0), (1, 1))).is_connected()
+
+    def test_l_shaped_triple_connected(self):
+        assert KernelPattern(((0, 0), (1, 0), (1, 1))).is_connected()
+
+    def test_split_triple_not_connected(self):
+        assert not KernelPattern(((0, 0), (0, 1), (2, 2))).is_connected()
+
+    def test_known_counts(self):
+        # 2-entry: 12 edge-adjacent pairs in a 3x3 grid; 3-entry: 22 connected triominoes.
+        assert len(connected_patterns(2)) == 12
+        assert len(connected_patterns(3)) == 22
+
+    def test_all_connected_patterns_pass_their_own_check(self):
+        for k in (2, 3, 4):
+            assert all(p.is_connected() for p in connected_patterns(k))
+
+
+class TestKernelPattern:
+    def test_mask_shape_and_entries(self):
+        pattern = KernelPattern(((0, 0), (1, 1), (2, 2)))
+        mask = pattern.mask()
+        assert mask.shape == (3, 3)
+        assert mask.sum() == 3
+        assert pattern.entries == 3
+
+    def test_flat_mask_matches_mask(self):
+        pattern = KernelPattern(((0, 1), (1, 1)))
+        np.testing.assert_array_equal(pattern.flat_mask(), pattern.mask().reshape(-1))
+
+
+class TestPatternLibrary:
+    def test_default_library_size_is_paper_21(self):
+        library = build_pattern_library(3)
+        assert len(library) == DEFAULT_LIBRARY_SIZE
+
+    def test_2ep_library_uses_all_connected_pairs(self):
+        # Only 12 connected 2-entry patterns exist, fewer than the 21-pattern cap.
+        assert len(build_pattern_library(2)) == 12
+
+    def test_library_entries_consistent(self):
+        library = build_pattern_library(4, max_patterns=8)
+        assert all(p.entries == 4 for p in library)
+        assert len(library) == 8
+
+    def test_mask_matrix_shape(self):
+        library = build_pattern_library(3, max_patterns=10)
+        assert library.mask_matrix().shape == (10, 9)
+
+    def test_keep_fraction(self):
+        assert build_pattern_library(3).keep_fraction == pytest.approx(3 / 9)
+
+    def test_subset(self):
+        library = build_pattern_library(3)
+        subset = library.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset[0].positions == library[0].positions
+
+    def test_subset_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_pattern_library(3).subset([])
+
+    def test_mixed_entry_library_rejected(self):
+        a = KernelPattern(((0, 0), (0, 1)))
+        b = KernelPattern(((0, 0), (0, 1), (0, 2)))
+        with pytest.raises(ValueError):
+            PatternLibrary(2, [a, b])
+
+    def test_deterministic_given_seed(self):
+        a = build_pattern_library(3, seed=5)
+        b = build_pattern_library(3, seed=5)
+        assert [p.positions for p in a] == [p.positions for p in b]
+
+    def test_usage_counts_sorted_descending(self):
+        library = build_pattern_library(3)
+        assert library.usage_counts == sorted(library.usage_counts, reverse=True)
+
+    def test_standard_libraries_keys(self):
+        libs = standard_libraries()
+        assert set(libs) == {"2EP", "3EP", "4EP", "5EP"}
+        assert libs["2EP"].entries == 2 and libs["5EP"].entries == 5
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_library_masks_have_exactly_k_entries(self, k):
+        library = build_pattern_library(k, max_patterns=5, calibration_kernels=200)
+        masks = library.mask_matrix()
+        np.testing.assert_array_equal(masks.sum(axis=1), np.full(len(library), k))

@@ -1,0 +1,110 @@
+"""Target assignment and detection losses."""
+
+import numpy as np
+import pytest
+
+from repro.detection.losses import RetinaLoss, YoloLoss, YoloLossWeights
+from repro.detection.targets import assign_retinanet_targets, assign_yolo_targets
+from repro.detection.anchors import retinanet_anchors
+from repro.nn.tensor import Tensor
+
+ANCHORS = np.array([[10, 10], [25, 25], [50, 40]], dtype=np.float32)
+
+
+class TestYoloTargets:
+    def test_positive_placed_in_correct_cell(self):
+        boxes = [np.array([[24.0, 40.0, 12.0, 12.0]])]       # cx=24, cy=40
+        classes = [np.array([1])]
+        targets = assign_yolo_targets(boxes, classes, image_size=64, grid_size=8,
+                                      anchors=ANCHORS, num_classes=3)
+        # stride 8: col 3, row 5; best anchor is the 10x10 one (index 0).
+        assert targets.objectness[0, 0, 5, 3] == 1.0
+        assert targets.class_one_hot[0, 0, 1, 5, 3] == 1.0
+        assert targets.num_positives == 1
+
+    def test_box_regression_targets(self):
+        boxes = [np.array([[20.0, 20.0, 10.0, 10.0]])]
+        targets = assign_yolo_targets(boxes, [np.array([0])], 64, 8, ANCHORS, 3)
+        row = col = 2
+        assert targets.box[0, 0, 0, row, col] == pytest.approx(0.5)   # 20/8 - 2
+        assert targets.box[0, 0, 2, row, col] == pytest.approx(np.log(10 / 10), abs=1e-4)
+
+    def test_degenerate_boxes_skipped(self):
+        boxes = [np.array([[10.0, 10.0, 0.5, 0.5]])]
+        targets = assign_yolo_targets(boxes, [np.array([0])], 64, 8, ANCHORS, 3)
+        assert targets.num_positives == 0
+
+    def test_empty_image(self):
+        targets = assign_yolo_targets([np.zeros((0, 4))], [np.zeros((0,), dtype=np.int64)],
+                                      64, 8, ANCHORS, 3)
+        assert targets.num_positives == 0
+        assert targets.objectness.sum() == 0
+
+
+class TestYoloLoss:
+    def _targets(self):
+        boxes = [np.array([[24.0, 24.0, 14.0, 14.0]])]
+        return assign_yolo_targets(boxes, [np.array([2])], 64, 8, ANCHORS, 3)
+
+    def test_returns_all_components(self, rng):
+        loss_fn = YoloLoss(3, 3)
+        pred = Tensor(rng.standard_normal((1, 24, 8, 8)).astype(np.float32), requires_grad=True)
+        out = loss_fn(pred, self._targets())
+        assert set(out) == {"total", "box", "objectness", "classification"}
+        assert out["total"].item() > 0
+
+    def test_gradients_flow(self, rng):
+        loss_fn = YoloLoss(3, 3)
+        pred = Tensor(rng.standard_normal((1, 24, 8, 8)).astype(np.float32), requires_grad=True)
+        loss_fn(pred, self._targets())["total"].backward()
+        assert pred.grad is not None and np.all(np.isfinite(pred.grad))
+
+    def test_channel_mismatch_raises(self, rng):
+        loss_fn = YoloLoss(3, 3)
+        pred = Tensor(rng.standard_normal((1, 20, 8, 8)).astype(np.float32))
+        with pytest.raises(ValueError):
+            loss_fn(pred, self._targets())
+
+    def test_weights_scale_components(self, rng):
+        pred = Tensor(rng.standard_normal((1, 24, 8, 8)).astype(np.float32))
+        targets = self._targets()
+        default = YoloLoss(3, 3)(pred, targets)["total"].item()
+        boxy = YoloLoss(3, 3, YoloLossWeights(box=50.0))(pred, targets)["total"].item()
+        assert boxy > default
+
+
+class TestRetinaTargetsAndLoss:
+    def test_assignment_labels(self):
+        anchors = retinanet_anchors(64)
+        gt = [np.array([[8.0, 8.0, 40.0, 40.0]], dtype=np.float32)]
+        targets = assign_retinanet_targets(gt, [np.array([2])], anchors)
+        assert targets.num_positives >= 1
+        assert set(np.unique(targets.labels)) <= {-2, -1, 2}
+
+    def test_every_gt_gets_an_anchor(self):
+        anchors = retinanet_anchors(64)
+        # A tiny box that no anchor overlaps by 0.5 still gets its best anchor forced.
+        gt = [np.array([[30.0, 30.0, 33.0, 33.0]], dtype=np.float32)]
+        targets = assign_retinanet_targets(gt, [np.array([0])], anchors)
+        assert targets.num_positives >= 1
+
+    def test_loss_runs_and_backprops(self, rng):
+        anchors = retinanet_anchors(64)
+        gt = [np.array([[8.0, 8.0, 40.0, 40.0]], dtype=np.float32)]
+        targets = assign_retinanet_targets(gt, [np.array([1])], anchors)
+        logits = Tensor(rng.standard_normal((1, anchors.shape[0], 3)).astype(np.float32) * 0.01,
+                        requires_grad=True)
+        deltas = Tensor(np.zeros((1, anchors.shape[0], 4), dtype=np.float32), requires_grad=True)
+        out = RetinaLoss(3)(logits, deltas, targets)
+        out["total"].backward()
+        assert out["classification"].item() > 0
+        assert logits.grad is not None and deltas.grad is not None
+
+    def test_class_count_mismatch_raises(self, rng):
+        anchors = retinanet_anchors(64)
+        targets = assign_retinanet_targets([np.zeros((0, 4))], [np.zeros(0, dtype=np.int64)],
+                                           anchors)
+        logits = Tensor(np.zeros((1, anchors.shape[0], 5), dtype=np.float32))
+        deltas = Tensor(np.zeros((1, anchors.shape[0], 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            RetinaLoss(3)(logits, deltas, targets)

@@ -1,0 +1,150 @@
+"""Model zoo: parameter budgets, forward shapes, registry, blocks."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    TABLE2_REFERENCES,
+    available_models,
+    build_model,
+    detr_lite,
+    retinanet_lite,
+    tiny_detector,
+    yolov5n,
+)
+from repro.models.blocks.csp import C3, SPPF, Bottleneck, ConvBNAct, Focus
+from repro.models.blocks.resnet import resnet18_backbone
+from repro.models.blocks.fpn import FeaturePyramidNetwork
+from repro.nn.layers.conv import Conv2d
+from repro.nn.tensor import Tensor
+
+
+def _image(size=32, batch=1):
+    return Tensor(np.zeros((batch, 3, size, size), dtype=np.float32))
+
+
+class TestBlocks:
+    def test_convbnact_shape(self, rng):
+        block = ConvBNAct(3, 8, 3, 2, rng=rng)
+        assert block(_image(16)).shape == (1, 8, 8, 8)
+
+    def test_bottleneck_residual_only_when_channels_match(self, rng):
+        matched = Bottleneck(8, 8, shortcut=True, rng=rng)
+        mismatched = Bottleneck(8, 16, shortcut=True, rng=rng)
+        assert matched.use_shortcut
+        assert not mismatched.use_shortcut
+
+    def test_c3_shape_and_depth(self, rng):
+        block = C3(8, 16, depth=2, rng=rng)
+        x = Tensor(np.zeros((1, 8, 8, 8), dtype=np.float32))
+        assert block(x).shape == (1, 16, 8, 8)
+        assert len(block.m) == 2
+
+    def test_sppf_preserves_spatial_size(self, rng):
+        block = SPPF(8, 8, rng=rng)
+        x = Tensor(np.zeros((1, 8, 8, 8), dtype=np.float32))
+        assert block(x).shape == (1, 8, 8, 8)
+
+    def test_focus_downsamples_by_two(self, rng):
+        block = Focus(3, 8, rng=rng)
+        assert block(_image(16)).shape == (1, 8, 8, 8)
+
+    def test_resnet18_stage_channels(self, rng):
+        backbone = resnet18_backbone(rng=rng)
+        features = backbone(_image(64))
+        assert features["c3"].shape[1] == 128
+        assert features["c5"].shape[1] == 512
+        assert features["c5"].shape[2] == 2      # 64 / 32
+
+    def test_fpn_levels_and_channels(self, rng):
+        backbone = resnet18_backbone(rng=rng)
+        features = backbone(_image(64))
+        fpn = FeaturePyramidNetwork(128, 256, 512, out_channels=32, rng=rng)
+        pyramid = fpn(features)
+        assert len(pyramid) == 5
+        assert all(level.shape[1] == 32 for level in pyramid)
+        # Each level halves the spatial size of the previous one.
+        sizes = [level.shape[2] for level in pyramid]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestParameterBudgets:
+    """Parameter counts must land near the paper's Table 2 (within 15 %)."""
+
+    @pytest.mark.parametrize("reference", TABLE2_REFERENCES, ids=lambda r: r.name)
+    def test_matches_paper(self, reference):
+        model = build_model(reference.registry_name)
+        measured = model.num_parameters() / 1e6
+        assert measured == pytest.approx(reference.paper_parameters_millions, rel=0.15)
+
+
+class TestForwardPasses:
+    def test_yolov5n_multiscale_outputs(self):
+        model = yolov5n(num_classes=3)
+        outputs = model(_image(64))
+        assert len(outputs) == 3
+        assert outputs[0].shape == (1, 3 * 8, 8, 8)     # stride 8
+        assert outputs[2].shape == (1, 3 * 8, 2, 2)     # stride 32
+
+    def test_retinanet_lite_outputs(self):
+        model = retinanet_lite(num_classes=3)
+        out = model(_image(64))
+        assert len(out["class_maps"]) == 5
+        cls, box = model.flatten_outputs(out)
+        anchors = model.anchors(64)
+        assert cls.shape == (1, anchors.shape[0], 3)
+        assert box.shape == (1, anchors.shape[0], 4)
+
+    def test_detr_lite_outputs(self):
+        model = detr_lite(num_classes=3)
+        out = model(_image(64))
+        assert out["class_logits"].shape == (1, 16, 4)     # 16 queries, 3 classes + no-object
+        assert out["boxes"].shape == (1, 16, 4)
+        assert np.all((out["boxes"].data >= 0) & (out["boxes"].data <= 1))
+
+    def test_tiny_detector_output(self):
+        model = tiny_detector(num_classes=3, image_size=64, base_channels=8)
+        out = model(_image(64))
+        assert out.shape == (1, 3 * 8, 8, 8)
+
+    def test_describe_reports_parameters(self):
+        model = tiny_detector()
+        info = model.describe()
+        assert info["parameters"] == model.num_parameters()
+
+
+class TestRegistry:
+    def test_builtin_models_registered(self):
+        names = available_models()
+        for expected in ("yolov5s", "retinanet", "yolox", "yolov7", "yolor", "detr", "tiny"):
+            assert expected in names
+
+    def test_build_with_kwargs(self):
+        model = build_model("yolov5n", num_classes=5)
+        assert model.config.num_classes == 5
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("not-a-model")
+
+    def test_yolov5_variant_validation(self):
+        from repro.models.yolov5 import build_yolov5
+        with pytest.raises(ValueError):
+            build_yolov5("xl")
+
+
+class TestYolov5sStructure:
+    def test_parameter_budget(self, yolov5s_model):
+        assert yolov5s_model.num_parameters() / 1e6 == pytest.approx(7.02, rel=0.05)
+
+    def test_conv_layer_count_matches_architecture(self, yolov5s_model):
+        convs = [m for m in yolov5s_model.modules() if isinstance(m, Conv2d)]
+        assert len(convs) == 60
+
+    def test_feature_channels(self, yolov5s_model):
+        assert yolov5s_model.feature_channels == (128, 256, 512)
+
+    def test_pointwise_layer_majority(self, yolov5s_model):
+        convs = [m for m in yolov5s_model.modules() if isinstance(m, Conv2d)]
+        pointwise = [c for c in convs if c.is_pointwise]
+        assert len(pointwise) / len(convs) > 0.6

@@ -1,0 +1,121 @@
+"""Convolution: forward correctness against a naive reference, gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def naive_conv2d(x, w, bias=None, stride=1, padding=0):
+    """Straightforward quadruple-loop convolution used as ground truth."""
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w_in + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w), dtype=np.float32)
+    for b in range(n):
+        for o in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x_pad[b, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+            if bias is not None:
+                out[b, o] += bias[o]
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+    def test_pointwise_conv_equals_matmul(self, rng):
+        x = rng.standard_normal((1, 5, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((7, 5, 1, 1)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0)
+        expected = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+    def test_grouped_conv_shapes_and_independence(self, rng):
+        x = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1, groups=4)
+        assert out.shape == (1, 4, 6, 6)
+        # Each output channel only depends on its own input channel.
+        single = F.conv2d(Tensor(x[:, 1:2]), Tensor(w[1:2]), stride=1, padding=1)
+        np.testing.assert_allclose(out.data[:, 1], single.data[:, 0], rtol=1e-4, atol=1e-5)
+
+    def test_rectangular_kernel(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 1, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=(0, 1))
+        assert out.shape == (1, 3, 8, 8)
+
+    def test_empty_output_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)).astype(np.float32))
+        w = Tensor(rng.standard_normal((1, 1, 5, 5)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, stride=1, padding=0)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((2, 4, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+
+class TestConvBackward:
+    def _numeric_vs_autograd(self, rng, stride, padding, groups=1, check="weight"):
+        c_in, c_out = 4, 4
+        x = Tensor(rng.standard_normal((1, c_in, 6, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal(
+            (c_out, c_in // groups, 3, 3)).astype(np.float32), requires_grad=True)
+        out = F.conv2d(x, w, stride=stride, padding=padding, groups=groups)
+        out.sum().backward()
+
+        target = w if check == "weight" else x
+        index = (1, 0, 1, 2) if check == "weight" else (0, 1, 1, 2)
+        eps = 1e-2
+        original = target.data[index].copy()
+        target.data[index] = original + eps
+        upper = F.conv2d(x, w, stride=stride, padding=padding, groups=groups).data.sum()
+        target.data[index] = original - eps
+        lower = F.conv2d(x, w, stride=stride, padding=padding, groups=groups).data.sum()
+        target.data[index] = original
+        numeric = (upper - lower) / (2 * eps)
+        assert abs(numeric - target.grad[index]) < 5e-2
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1)])
+    def test_weight_gradient(self, rng, stride, padding):
+        self._numeric_vs_autograd(rng, stride, padding, check="weight")
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1)])
+    def test_input_gradient(self, rng, stride, padding):
+        self._numeric_vs_autograd(rng, stride, padding, check="input")
+
+    def test_grouped_gradient(self, rng):
+        self._numeric_vs_autograd(rng, 1, 1, groups=2, check="weight")
+
+    def test_bias_gradient_is_output_count(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)).astype(np.float32))
+        w = Tensor(rng.standard_normal((5, 3, 3, 3)).astype(np.float32))
+        b = Tensor(np.zeros(5, dtype=np.float32), requires_grad=True)
+        out = F.conv2d(x, w, b, stride=1, padding=1)
+        out.sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(5, 2 * 4 * 4), rtol=1e-5)
+
+    def test_pruned_weights_get_gradients_too(self, rng):
+        """Masked (zeroed) weights still receive gradients — fine-tuning relies on
+        re-applying the mask after each step, not on gradients being blocked."""
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32))
+        w = Tensor(rng.standard_normal((2, 2, 3, 3)).astype(np.float32), requires_grad=True)
+        w.data[0, 0] = 0.0
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+        assert np.abs(w.grad[0, 0]).sum() > 0

@@ -1,0 +1,89 @@
+"""Graph tracing: edges between leaf modules and the conv-graph projection."""
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.graph import trace
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.merge import Concat
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class Branchy(Module):
+    """conv1 feeds two branches that are concatenated and consumed by conv_out."""
+
+    def __init__(self):
+        super().__init__()
+        self.conv1 = Conv2d(3, 4, 3)
+        self.branch_a = Conv2d(4, 4, 3)
+        self.branch_b = Conv2d(4, 4, 1, padding=0)
+        self.concat = Concat()
+        self.conv_out = Conv2d(8, 2, 1, padding=0)
+
+    def forward(self, x):
+        x = self.conv1(x)
+        return self.conv_out(self.concat([self.branch_a(x), self.branch_b(x)]))
+
+
+def _input(size=16):
+    return Tensor(np.zeros((1, 3, size, size), dtype=np.float32))
+
+
+class TestTrace:
+    def test_sequential_chain_edges(self):
+        model = Sequential(Conv2d(3, 4, 3), BatchNorm2d(4), ReLU(), Conv2d(4, 2, 3))
+        graph = trace(model, _input())
+        module_graph = graph.module_graph()
+        assert module_graph.has_edge("0", "1")
+        assert module_graph.has_edge("1", "2")
+        assert module_graph.has_edge("2", "3")
+
+    def test_conv_graph_skips_intermediate_modules(self):
+        model = Sequential(Conv2d(3, 4, 3), BatchNorm2d(4), ReLU(), Conv2d(4, 2, 3))
+        conv_graph = trace(model, _input()).conv_graph()
+        assert conv_graph.has_edge("0", "3")
+        assert conv_graph.number_of_nodes() == 2
+
+    def test_branching_model_edges(self):
+        graph = trace(Branchy(), _input())
+        conv_graph = graph.conv_graph()
+        assert conv_graph.has_edge("conv1", "branch_a")
+        assert conv_graph.has_edge("conv1", "branch_b")
+        assert conv_graph.has_edge("branch_a", "conv_out")
+        assert conv_graph.has_edge("branch_b", "conv_out")
+
+    def test_conv_layers_mapping(self):
+        graph = trace(Branchy(), _input())
+        convs = graph.conv_layers()
+        assert set(convs) == {"conv1", "branch_a", "branch_b", "conv_out"}
+        assert all(isinstance(m, Conv2d) for m in convs.values())
+
+    def test_roots_are_input_layers(self):
+        graph = trace(Branchy(), _input())
+        assert "conv1" in graph.roots()
+
+    def test_trace_restores_training_mode(self):
+        model = Branchy()
+        model.train()
+        trace(model, _input())
+        assert model.training
+
+    def test_trace_removes_hooks(self):
+        model = Branchy()
+        trace(model, _input())
+        assert all(not m._forward_hooks for m in model.modules())
+
+    def test_len_and_contains(self):
+        graph = trace(Branchy(), _input())
+        assert len(graph) >= 5
+        assert "conv1" in graph
+
+    def test_tiny_detector_graph(self, tiny_model, tiny_input):
+        graph = trace(tiny_model, tiny_input)
+        conv_graph = graph.conv_graph()
+        # Every TinyDetector convolution is reached by the trace.
+        assert conv_graph.number_of_nodes() == len(graph.conv_layers())
+        assert conv_graph.number_of_edges() >= conv_graph.number_of_nodes() - 1

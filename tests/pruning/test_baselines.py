@@ -1,0 +1,212 @@
+"""Baseline pruning frameworks: PD, NMS, NS, PF, NP, SNIP, SynFlow, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.models.tiny import TinyDetector, TinyDetectorConfig
+from repro.nn.layers.conv import Conv2d
+from repro.nn.tensor import Tensor
+from repro.pruning import (
+    FilterPruner,
+    GradientMagnitudePruner,
+    IterativeSchedule,
+    MagnitudePruner,
+    NetworkSlimmingPruner,
+    NeuralPruner,
+    PatDNNPruner,
+    SynFlowPruner,
+    connectivity_mask,
+    find_conv_bn_pairs,
+    prunable_conv_layers,
+    run_iterative_pruning,
+)
+
+
+def _tiny():
+    return TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64, base_channels=8))
+
+
+def _input():
+    return Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+
+
+class TestSharedInfra:
+    def test_prunable_conv_layers_and_skip(self):
+        model = _tiny()
+        all_layers = prunable_conv_layers(model)
+        without_head = prunable_conv_layers(model, skip_names=("head",))
+        assert len(without_head) == len(all_layers) - 1
+        assert all(isinstance(l, Conv2d) for l in all_layers.values())
+
+    def test_find_conv_bn_pairs(self):
+        pairs = find_conv_bn_pairs(_tiny())
+        assert len(pairs) > 0
+        for conv_name, conv, bn_name, bn in pairs:
+            assert bn.num_features == conv.out_channels
+
+
+class TestMagnitudePruner:
+    @pytest.mark.parametrize("scope", ["layer", "global"])
+    def test_achieves_target_sparsity(self, scope):
+        report = MagnitudePruner(sparsity=0.5, scope=scope).prune(_tiny(), model_name="tiny")
+        assert report.masks.overall_sparsity() == pytest.approx(0.5, abs=0.05)
+
+    def test_keeps_largest_weights(self, rng):
+        model = _tiny()
+        layer = model.stem.conv
+        layer.weight.data[0, 0, 0, 0] = 100.0
+        MagnitudePruner(sparsity=0.9).prune(model)
+        assert layer.weight.data[0, 0, 0, 0] == 100.0
+
+    def test_zero_sparsity_keeps_everything(self):
+        report = MagnitudePruner(sparsity=0.0).prune(_tiny())
+        assert report.overall_sparsity == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            MagnitudePruner(sparsity=1.0)
+        with pytest.raises(ValueError):
+            MagnitudePruner(scope="galaxy")
+
+
+class TestFilterPruner:
+    def test_prunes_whole_filters(self):
+        model = _tiny()
+        report = FilterPruner(ratio=0.5).prune(model)
+        layer = model.csp1.cv1.conv
+        filter_sums = np.abs(layer.weight.data).reshape(layer.out_channels, -1).sum(axis=1)
+        assert (filter_sums == 0).sum() >= layer.out_channels // 2 - 1
+        assert report.overall_sparsity > 0.3
+
+    def test_min_filters_kept(self):
+        report = FilterPruner(ratio=0.99, min_filters=2).prune(_tiny())
+        for layer_report in report.layers:
+            assert layer_report.kept_weights > 0
+
+
+class TestNetworkSlimming:
+    def test_channel_ratio_respected(self):
+        report = NetworkSlimmingPruner(channel_ratio=0.5).prune(_tiny())
+        assert 0.2 < report.overall_sparsity < 0.6
+
+    def test_prunes_low_gamma_channels_first(self):
+        model = _tiny()
+        bn = model.stem.bn
+        bn.weight.data[:] = 1.0
+        bn.weight.data[0] = 1e-6            # channel 0 is clearly the least important
+        NetworkSlimmingPruner(channel_ratio=0.25).prune(model)
+        assert np.all(model.stem.conv.weight.data[0] == 0)
+
+    def test_bn_scales_masked_too(self):
+        model = _tiny()
+        report = NetworkSlimmingPruner(channel_ratio=0.5).prune(model)
+        bn_masks = [m for m in report.masks if m.layer_name.endswith("bn")]
+        assert bn_masks and all(m.sparsity > 0 for m in bn_masks)
+
+
+class TestNeuralPruner:
+    def test_combines_filter_and_weight_pruning(self):
+        report = NeuralPruner(filter_ratio=0.25, weight_sparsity=0.3).prune(_tiny())
+        assert 0.3 < report.overall_sparsity < 0.7
+
+    def test_zero_settings_are_noop(self):
+        report = NeuralPruner(filter_ratio=0.0, weight_sparsity=0.0).prune(_tiny())
+        assert report.overall_sparsity == 0.0
+
+
+class TestPatDNN:
+    def test_only_3x3_layers_pruned(self):
+        report = PatDNNPruner().prune(_tiny())
+        assert all(layer.kernel_size == (3, 3) for layer in report.layers)
+
+    def test_connectivity_increases_sparsity(self):
+        base = PatDNNPruner(connectivity_ratio=0.0).prune(_tiny())
+        with_conn = PatDNNPruner(connectivity_ratio=0.4).prune(_tiny())
+        assert with_conn.conv_sparsity() > base.conv_sparsity()
+
+    def test_4ep_pattern_density_without_connectivity(self):
+        report = PatDNNPruner(connectivity_ratio=0.0).prune(_tiny())
+        assert report.conv_sparsity() == pytest.approx(1 - 4 / 9, abs=0.02)
+
+    def test_library_is_4_entry(self):
+        assert PatDNNPruner().library.entries == 4
+
+
+class TestConnectivityMask:
+    def test_removes_requested_fraction_of_kernels(self, rng):
+        weights = rng.standard_normal((8, 8, 3, 3)).astype(np.float32)
+        mask = connectivity_mask(weights, ratio=0.25)
+        removed = (mask.reshape(64, 9).sum(axis=1) == 0).sum()
+        assert removed == 16
+
+    def test_removes_smallest_norm_kernels(self, rng):
+        weights = rng.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        weights[2, 3] = 0.001
+        mask = connectivity_mask(weights, ratio=1 / 16)
+        assert np.all(mask[2, 3] == 0)
+
+    def test_protect_last_kernel(self):
+        weights = np.ones((2, 2, 3, 3), dtype=np.float32) * 0.001
+        mask = connectivity_mask(weights, ratio=0.9, protect_last_kernel=True)
+        per_filter = mask.reshape(2, 2, -1).sum(axis=(1, 2))
+        assert np.all(per_filter > 0)
+
+
+class TestGradientAndSynFlow:
+    def test_snip_prunes_low_saliency(self):
+        model = _tiny()
+        batch = Tensor(np.random.default_rng(0).standard_normal(
+            (2, 3, 64, 64)).astype(np.float32))
+
+        def loss_fn(m):
+            out = m(batch)
+            return (out * out).mean()
+
+        report = GradientMagnitudePruner(loss_fn, sparsity=0.5).prune(model)
+        assert report.masks.overall_sparsity() == pytest.approx(0.5, abs=0.1)
+
+    def test_synflow_reaches_target(self):
+        model = _tiny()
+        report = SynFlowPruner(sparsity=0.5, iterations=3,
+                               input_shape=(1, 3, 64, 64)).prune(model)
+        assert report.masks.overall_sparsity() == pytest.approx(0.5, abs=0.12)
+
+    def test_synflow_restores_weights(self):
+        model = _tiny()
+        before = model.stem.conv.weight.data.copy()
+        report = SynFlowPruner(sparsity=0.3, iterations=2,
+                               input_shape=(1, 3, 64, 64)).prune(model)
+        after = model.stem.conv.weight.data
+        # Surviving weights keep their original (signed) values.
+        kept = after != 0
+        np.testing.assert_allclose(after[kept], before[kept], rtol=1e-5)
+
+
+class TestIterativeSchedule:
+    def test_schedule_monotone(self):
+        schedule = IterativeSchedule(final_sparsity=0.7, num_iterations=4, start_sparsity=0.1)
+        values = [schedule.sparsity_at(i) for i in range(4)]
+        assert values[0] == pytest.approx(0.1)
+        assert values[-1] == pytest.approx(0.7)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            IterativeSchedule(final_sparsity=1.5)
+
+    def test_run_iterative_pruning_records(self):
+        model = _tiny()
+        schedule = IterativeSchedule(final_sparsity=0.6, num_iterations=3)
+        finetune_calls = []
+
+        def finetune(m, masks, iteration):
+            finetune_calls.append(iteration)
+            return float(iteration)
+
+        records = run_iterative_pruning(
+            model, lambda s: MagnitudePruner(sparsity=s), schedule,
+            finetune=finetune, model_name="tiny",
+        )
+        assert len(records) == 3
+        assert finetune_calls == [0, 1, 2]
+        assert records[-1].achieved_sparsity >= records[0].achieved_sparsity

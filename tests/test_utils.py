@@ -1,0 +1,85 @@
+"""Utilities: RNG determinism, serialization, logging, timers."""
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.profiling import RunningAverage, Timer
+from repro.utils.rng import default_rng, get_global_seed, set_global_seed, spawn_rng
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+
+class TestRNG:
+    def test_set_global_seed_reproducible(self):
+        set_global_seed(7)
+        a = default_rng().random(5)
+        set_global_seed(7)
+        b = default_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+        assert get_global_seed() == 7
+
+    def test_explicit_seed_independent_of_global(self):
+        a = default_rng(3).random(4)
+        b = default_rng(3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rng_streams_differ(self):
+        weights = spawn_rng("weights", 0).random(4)
+        data = spawn_rng("data", 0).random(4)
+        assert not np.array_equal(weights, data)
+
+    def test_spawn_rng_deterministic(self):
+        np.testing.assert_array_equal(spawn_rng("x", 1).random(3), spawn_rng("x", 1).random(3))
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        state = {"conv.weight": np.random.default_rng(0).random((3, 3)).astype(np.float32),
+                 "bn.bias": np.zeros(4, dtype=np.float32)}
+        path = save_state_dict(state, os.path.join(tmp_path, "ckpt"))
+        assert path.endswith(".npz")
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        np.testing.assert_array_equal(loaded["conv.weight"], state["conv.weight"])
+
+    def test_load_without_extension(self, tmp_path):
+        state = {"w": np.ones(3, dtype=np.float32)}
+        save_state_dict(state, os.path.join(tmp_path, "model"))
+        loaded = load_state_dict(os.path.join(tmp_path, "model"))
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+    def test_model_state_dict_roundtrip(self, tiny_model, tmp_path):
+        path = save_state_dict(tiny_model.state_dict(), os.path.join(tmp_path, "tiny"))
+        from repro.models.tiny import TinyDetector, TinyDetectorConfig
+        other = TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64, base_channels=8))
+        other.load_state_dict(load_state_dict(path))
+        np.testing.assert_array_equal(other.head.weight.data, tiny_model.head.weight.data)
+
+
+class TestLoggingAndTimers:
+    def test_logger_namespaced(self):
+        logger = get_logger("unit-test")
+        assert logger.name == "repro.unit-test"
+        set_verbosity(logging.WARNING)
+        set_verbosity(logging.INFO)
+
+    def test_timer_context(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+    def test_timer_start_stop(self):
+        timer = Timer()
+        timer.start()
+        elapsed = timer.stop()
+        assert elapsed >= 0.0
+
+    def test_running_average(self):
+        avg = RunningAverage()
+        assert avg.average == 0.0
+        avg.update(2.0)
+        avg.update(4.0, n=3)
+        assert avg.average == pytest.approx(3.5)
