@@ -1,0 +1,33 @@
+# Developer entry points for the R-TOSS reproduction.
+#
+#   make test        tier-1 test suite (the roadmap verify command)
+#   make bench       paper figures/tables + measured engine speedups
+#   make docs-check  docs hygiene: README exists, docs/ exists, and every
+#                    src/repro/* package is mentioned in the README module map
+
+PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test bench docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+docs-check:
+	@test -f README.md || { echo "docs-check: README.md is missing"; exit 1; }
+	@test -f docs/architecture.md || { echo "docs-check: docs/architecture.md is missing"; exit 1; }
+	@test -f docs/engine.md || { echo "docs-check: docs/engine.md is missing"; exit 1; }
+	@missing=0; \
+	for pkg in src/repro/*/; do \
+		name=$$(basename $$pkg); \
+		case $$name in __pycache__) continue;; esac; \
+		grep -q "repro\.$$name" README.md || { \
+			echo "docs-check: package repro.$$name is not mentioned in the README module map"; \
+			missing=1; }; \
+	done; \
+	test $$missing -eq 0
+	@echo "docs-check: OK"

@@ -6,6 +6,8 @@ Commands
               optionally save the pruned state dict.
 ``census``    Print the kernel-size census of a model (Section III motivation).
 ``compare``   Run the framework comparison (Figs. 4-7) on a model and print the table.
+``engine``    Prune a model, compile it with the pattern-aware execution engine and
+              print measured (wall-clock) vs modeled latency and speedup.
 ``models``    List the models available in the registry with their parameter counts.
 """
 
@@ -73,6 +75,19 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--model", default="yolov5s")
     compare.add_argument("--image-size", type=int, default=640)
 
+    engine = sub.add_parser(
+        "engine", help="measured dense-vs-compiled inference speedup (repro.engine)")
+    engine.add_argument("--model", default="tiny",
+                        help="registry model name (tiny is fast; larger models take longer)")
+    engine.add_argument("--framework", default="rtoss-2ep", choices=sorted(FRAMEWORKS))
+    engine.add_argument("--classes", type=int, default=3)
+    engine.add_argument("--image-size", type=int, default=96,
+                        help="input resolution of the measured forward passes")
+    engine.add_argument("--batch", type=int, default=4, help="measurement batch size")
+    engine.add_argument("--repeats", type=int, default=5, help="timing repeats (median)")
+    engine.add_argument("--plans", action="store_true",
+                        help="also print the per-layer compiled plan table")
+
     sub.add_parser("models", help="list available models")
     return parser
 
@@ -97,9 +112,15 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cli_model(args: argparse.Namespace):
+    """Build the registry model, honouring --classes where the factory takes it."""
+    if args.model in ("retinanet_lite", "detr_lite"):
+        return build_model(args.model)
+    return build_model(args.model, num_classes=args.classes)
+
+
 def _cmd_prune(args: argparse.Namespace) -> int:
-    model = build_model(args.model, num_classes=args.classes) \
-        if args.model not in ("retinanet_lite", "detr_lite") else build_model(args.model)
+    model = _build_cli_model(args)
     example = Tensor(np.zeros((1, 3, args.trace_size, args.trace_size), dtype=np.float32))
     pruner = FRAMEWORKS[args.framework]()
     report = pruner.prune(model, example, args.model)
@@ -110,6 +131,59 @@ def _cmd_prune(args: argparse.Namespace) -> int:
         path = save_state_dict(model.state_dict(), args.save)
         print(f"pruned state dict written to {path}")
     return 0
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import compile_model, measure_speedup
+    from repro.hardware import (
+        JETSON_TX2,
+        SparsityProfile,
+        attach_measured,
+        estimate_latency,
+        profile_model,
+    )
+
+    if args.image_size < 32:
+        print("error: --image-size must be at least 32 (the detector strides and the "
+              "cost-model probe both need it)", file=sys.stderr)
+        return 2
+    if args.repeats < 1:
+        print("error: --repeats must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("error: --batch must be at least 1", file=sys.stderr)
+        return 2
+    model = _build_cli_model(args)
+    example = Tensor(np.zeros((1, 3, args.image_size, args.image_size), dtype=np.float32))
+    pruner = FRAMEWORKS[args.framework]()
+    report = pruner.prune(model, example, args.model)
+
+    measurement = measure_speedup(
+        model, masks=report.masks, repeats=args.repeats,
+        batch=args.batch, image_size=args.image_size, model_name=args.model,
+    )
+
+    # Modeled (analytical) latency for the same pruned model, with the measured
+    # wall-clock attached as the "measured" column.
+    probe_size = max(32, min(args.image_size, 64))
+    profile = profile_model(model, args.image_size, probe_size, model_name=args.model)
+    sparsity = SparsityProfile.from_report(report)
+    modeled = estimate_latency(profile, JETSON_TX2, sparsity)
+    attach_measured(modeled, measurement.compiled_seconds)
+
+    if args.plans:
+        compiled = compile_model(model, report.masks, apply_masks=False)
+        print(format_table(compiled.summary(), title="Compiled layer plans"))
+        compiled.detach()
+        print()
+    print(format_table([measurement.row()],
+                       title=f"{args.framework} on {args.model} — measured on host CPU"))
+    print(format_table([modeled.row()],
+                       title="Modeled (Jetson TX2) vs measured (host) latency"))
+    ok = measurement.max_abs_diff < 1e-5
+    print(f"output equivalence (max abs diff): {measurement.max_abs_diff:.2e} "
+          f"{'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -136,6 +210,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_prune(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "engine":
+        return _cmd_engine(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

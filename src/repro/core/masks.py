@@ -52,7 +52,29 @@ class PruningMask:
 
 
 class MaskSet:
-    """Collection of pruning masks for a model."""
+    """Collection of pruning masks for a model.
+
+    A ``MaskSet`` is what every pruner in the library returns (inside its
+    :class:`repro.core.report.PruningReport`) and what downstream consumers
+    operate on:
+
+    * :meth:`apply` zeroes the masked weights of a model and registers each
+      mask on its layer (``layer.pruning_masks``),
+    * :meth:`reapply` pins pruned weights back to zero after fine-tuning steps,
+    * :mod:`repro.hardware` reads the per-layer sparsities for the latency /
+      energy / storage models,
+    * :func:`repro.engine.compile_model` compiles the masked layers into
+      column-compacted GEMM plans; :meth:`signature` provides the stable cache
+      key that identifies one pattern assignment.
+
+    Example
+    -------
+    >>> from repro.core import MaskSet, PruningMask
+    >>> import numpy as np
+    >>> masks = MaskSet([PruningMask("stem.conv", "weight", np.ones((8, 3, 3, 3)))])
+    >>> masks.overall_sparsity()
+    0.0
+    """
 
     def __init__(self, masks: Optional[List[PruningMask]] = None) -> None:
         self._masks: Dict[str, PruningMask] = {}
@@ -88,6 +110,27 @@ class MaskSet:
         for mask in other:
             merged.add(mask)
         return merged
+
+    def signature(self) -> str:
+        """Stable content hash of the whole mask set.
+
+        Two mask sets with identical masks on identical parameters produce the
+        same signature, so callers can cheaply check whether a model was pruned
+        with the same pattern assignment (e.g. whether a compiled engine built
+        for one report is still valid for another).  The execution engine
+        records it on :class:`repro.engine.compiler.CompiledModel`; per-layer
+        staleness inside the engine is tracked by the finer-grained kept-column
+        signature on each plan.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for full_name in sorted(self._masks):
+            mask = self._masks[full_name]
+            digest.update(full_name.encode("utf-8"))
+            digest.update(str(mask.mask.shape).encode("utf-8"))
+            digest.update(np.packbits(mask.mask.astype(bool)).tobytes())
+        return digest.hexdigest()[:16]
 
     # ------------------------------------------------------------------ application
     def apply(self, model: Module) -> None:

@@ -109,14 +109,31 @@ def connected_patterns(entries: int) -> List[KernelPattern]:
 class PatternLibrary:
     """A fixed set of patterns used to prune every kernel of a model.
 
+    Libraries are normally built by :func:`build_pattern_library` (or
+    :func:`standard_libraries` for the 2EP/3EP/4EP/5EP quartet of Table 3) and
+    consumed by Algorithm 2 (:mod:`repro.core.kernel_pruning`) and Algorithm 3
+    (:mod:`repro.core.one_by_one`).  A library behaves like a sequence of
+    :class:`KernelPattern` objects: ``len(lib)``, iteration and indexing all
+    work, and :meth:`subset` restricts a child layer's search to the patterns
+    its DFS-group parent actually used.
+
     Attributes
     ----------
     entries:
         Number of kept weights per kernel (2 for 2EP, 3 for 3EP, ...).
     patterns:
-        The selected :class:`KernelPattern` objects.
+        The selected :class:`KernelPattern` objects, most-used first.
     usage_counts:
         How often each pattern won the L2 criterion during calibration (informational).
+
+    Example
+    -------
+    >>> from repro.core.patterns import build_pattern_library
+    >>> lib = build_pattern_library(entries=3)
+    >>> len(lib) <= 21 and lib[0].entries == 3
+    True
+    >>> lib.mask_matrix().shape == (len(lib), 9)
+    True
     """
 
     entries: int

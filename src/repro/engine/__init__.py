@@ -1,0 +1,51 @@
+"""Pattern-aware sparse execution engine (measured, not modeled, speedups).
+
+The pruning side of the repo decides *what* to prune (``repro.core``); this
+package makes pruning pay off at inference time on the host CPU:
+
+* :mod:`repro.engine.plan` — compile step: lower each pruned convolution to a
+  column-compacted gather + GEMM plan that skips masked taps entirely, with
+  layouts cached per (layer, pattern set, input shape),
+* :mod:`repro.engine.compiler` — :func:`compile_model` attaches the plans to a
+  model; the fast path only runs under ``no_grad`` so training stays correct,
+* :mod:`repro.engine.runner` — :class:`BatchRunner`, the batched front door
+  used by the evaluator and the CLI,
+* :mod:`repro.engine.bench` — :func:`measure_speedup`, wall-clock dense-vs-
+  compiled comparison with built-in output-equivalence checking.
+
+Quick use::
+
+    from repro.engine import compile_model, measure_speedup
+
+    report = RTOSSPruner(RTOSSConfig(entries=2)).prune(model, example)
+    engine = compile_model(model, report.masks)
+    outputs = engine(batch)                       # compiled no-grad inference
+    m = measure_speedup(model, masks=report.masks)
+    print(m.speedup, m.max_abs_diff)
+"""
+
+from repro.engine.bench import EngineMeasurement, measure_speedup, time_callable
+from repro.engine.compiler import CompiledModel, compile_model
+from repro.engine.plan import (
+    ConvPlan,
+    compile_conv_plan,
+    execute_plan,
+    layout_cache_stats,
+    reset_layout_cache_stats,
+)
+from repro.engine.runner import BatchRunner, RunnerStats
+
+__all__ = [
+    "BatchRunner",
+    "CompiledModel",
+    "ConvPlan",
+    "EngineMeasurement",
+    "RunnerStats",
+    "compile_conv_plan",
+    "compile_model",
+    "execute_plan",
+    "layout_cache_stats",
+    "measure_speedup",
+    "reset_layout_cache_stats",
+    "time_callable",
+]

@@ -1,0 +1,191 @@
+"""Measured (wall-clock) latency of the compiled engine vs the dense path.
+
+Everything in :mod:`repro.hardware` is an analytical *model* of latency on the
+paper's platforms; this module is the complement — it actually runs the pruned
+network on the host CPU and times it.  :func:`measure_speedup` produces an
+:class:`EngineMeasurement` with three numbers:
+
+* ``dense_seconds`` — the repo's status-quo inference path (taped autograd
+  im2col convolution), i.e. what every caller paid before the engine existed,
+* ``dense_nograd_seconds`` — the same dense kernels under ``no_grad``; comparing
+  against this isolates the execution-strategy win from the tape-overhead win,
+* ``compiled_seconds`` — the pattern-aware compiled engine.
+
+It also records the max absolute output difference between the dense and the
+compiled paths, so every reported speedup is tied to a verified-equivalent
+computation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.masks import MaskSet
+from repro.engine.compiler import CompiledModel, compile_model
+from repro.engine.runner import BatchRunner, _to_numpy
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 5, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+@dataclass
+class EngineMeasurement:
+    """Outcome of one dense-vs-compiled wall-clock comparison."""
+
+    model_name: str
+    input_shape: Tuple[int, ...]
+    repeats: int
+    dense_seconds: float
+    dense_nograd_seconds: float
+    compiled_seconds: float
+    max_abs_diff: float
+    compiled_layers: int = 0
+    fallback_layers: int = 0
+    kept_columns: int = 0
+    total_columns: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Compiled speedup over the status-quo (taped) dense path."""
+        return self.dense_seconds / self.compiled_seconds if self.compiled_seconds else float("inf")
+
+    @property
+    def nograd_speedup(self) -> float:
+        """Compiled speedup over the no-grad dense path (execution strategy only)."""
+        if not self.compiled_seconds:
+            return float("inf")
+        return self.dense_nograd_seconds / self.compiled_seconds
+
+    @property
+    def column_sparsity(self) -> float:
+        if not self.total_columns:
+            return 0.0
+        return 1.0 - self.kept_columns / self.total_columns
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary for the table formatters (the Fig. 6 'measured' row)."""
+        return {
+            "model": self.model_name,
+            "input": "x".join(str(dim) for dim in self.input_shape),
+            "dense_ms": round(self.dense_seconds * 1e3, 2),
+            "dense_nograd_ms": round(self.dense_nograd_seconds * 1e3, 2),
+            "compiled_ms": round(self.compiled_seconds * 1e3, 2),
+            "measured_speedup": round(self.speedup, 2),
+            "measured_speedup_nograd": round(self.nograd_speedup, 2),
+            "max_abs_diff": float(self.max_abs_diff),
+        }
+
+
+def measure_speedup(
+    model: Module,
+    x: Optional[np.ndarray] = None,
+    masks: Optional[MaskSet] = None,
+    repeats: int = 5,
+    warmup: int = 1,
+    batch_size: Optional[int] = None,
+    model_name: str = "",
+    image_size: int = 96,
+    batch: int = 4,
+    seed: int = 0,
+) -> EngineMeasurement:
+    """Measure dense vs compiled inference latency on the host CPU.
+
+    Parameters
+    ----------
+    model:
+        The (already pruned, or about-to-be-masked via ``masks``) model.
+    x:
+        NCHW input batch; a deterministic random batch of shape
+        ``(batch, 3, image_size, image_size)`` is generated when omitted.
+    masks:
+        Optional mask set re-applied before compiling (see
+        :func:`repro.engine.compiler.compile_model`).
+    repeats / warmup:
+        Timing protocol; the median of ``repeats`` runs is reported.
+    batch_size:
+        Runner batch size (defaults to the full input in one batch).
+
+    The engine is detached before returning, so the model leaves this function
+    exactly as dense-callable as it entered.
+    """
+    if x is None:
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, 3, image_size, image_size)).astype(np.float32)
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    if batch_size is None:
+        batch_size = x.shape[0]
+
+    model.eval()
+    if masks is not None:
+        masks.apply(model)
+
+    # Status-quo dense path: taped autograd forward, exactly what callers ran
+    # before the engine existed.
+    dense_out = _to_numpy(model(Tensor(x)))
+    dense_seconds = time_callable(lambda: model(Tensor(x)), repeats, warmup)
+
+    # Dense kernels without tape construction (isolates the strategy win).
+    dense_runner = BatchRunner(model, batch_size=batch_size)
+    dense_nograd_seconds = time_callable(lambda: dense_runner.run(x), repeats, warmup)
+
+    compiled = compile_model(model, masks, apply_masks=False)
+    try:
+        runner = BatchRunner(compiled, batch_size=batch_size)
+        compiled_out = runner.run(x)
+        max_abs_diff = _max_abs_diff(compiled_out, dense_out)
+        compiled_seconds = time_callable(lambda: runner.run(x), repeats, warmup)
+        measurement = EngineMeasurement(
+            model_name=model_name or type(model).__name__,
+            input_shape=tuple(x.shape),
+            repeats=repeats,
+            dense_seconds=dense_seconds,
+            dense_nograd_seconds=dense_nograd_seconds,
+            compiled_seconds=compiled_seconds,
+            max_abs_diff=max_abs_diff,
+            compiled_layers=compiled.num_compiled_layers,
+            fallback_layers=len(compiled.fallback_layers),
+            kept_columns=compiled.kept_columns(),
+            total_columns=compiled.total_columns(),
+        )
+    finally:
+        compiled.detach()
+    return measurement
+
+
+def _max_abs_diff(compiled_out, dense_out) -> float:
+    """Max absolute difference over matching (possibly nested) outputs."""
+    if isinstance(dense_out, np.ndarray):
+        if not isinstance(compiled_out, np.ndarray) or compiled_out.shape != dense_out.shape:
+            return float("nan")
+        if dense_out.size == 0:
+            return 0.0
+        return float(np.abs(compiled_out - dense_out).max())
+    if isinstance(dense_out, (tuple, list)):
+        if not isinstance(compiled_out, (tuple, list)) or len(compiled_out) != len(dense_out):
+            return float("nan")
+        diffs = [_max_abs_diff(c, d) for c, d in zip(compiled_out, dense_out)]
+        return max(diffs) if diffs else 0.0
+    if isinstance(dense_out, dict):
+        if not isinstance(compiled_out, dict) or set(compiled_out) != set(dense_out):
+            return float("nan")
+        diffs = [_max_abs_diff(compiled_out[key], dense_out[key]) for key in dense_out]
+        return max(diffs) if diffs else 0.0
+    return float("nan")

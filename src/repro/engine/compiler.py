@@ -1,0 +1,219 @@
+"""Model compiler: attach compiled per-layer plans to a pruned model.
+
+:func:`compile_model` walks a model, lowers every eligible convolution into a
+:class:`repro.engine.plan.ConvPlan` and shadows the layer's ``forward`` with the
+compiled fast path.  The shadowing is *gradient-safe*: when autograd is enabled
+(training / fine-tuning) the original dense taped forward runs instead, so an
+attached engine never silently breaks gradients — the fast path is only taken
+under :class:`repro.nn.tensor.no_grad`, which is what :meth:`CompiledModel.__call__`
+and :class:`repro.engine.runner.BatchRunner` use.
+
+Grouped convolutions (``groups > 1``) stay on the dense fallback path and are
+listed in :attr:`CompiledModel.fallback_layers`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.masks import MaskSet
+from repro.engine.plan import ConvPlan, compile_conv_plan, execute_plan
+from repro.nn.layers.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.utils.logging import get_logger
+
+logger = get_logger("engine.compiler")
+
+
+def _make_forward(plan: ConvPlan, original_forward: Callable,
+                  owner: "CompiledModel") -> Callable:
+    def forward(x: Tensor) -> Tensor:
+        if is_grad_enabled():
+            # Training / fine-tuning path: keep the taped dense convolution so
+            # gradients stay correct even while the engine is attached.
+            return original_forward(x)
+        return Tensor(execute_plan(plan, x.data))
+
+    # Markers used by attach()/detach(): the plan itself, the forward the
+    # wrapper shadows, and which CompiledModel installed it (so a second engine
+    # compiled on the same model takes over cleanly instead of stacking).
+    forward._engine_plan = plan
+    forward._engine_original = original_forward
+    forward._engine_owner = owner
+    return forward
+
+
+class CompiledModel:
+    """A model with the pattern-aware execution engine attached.
+
+    Calling a ``CompiledModel`` runs a no-grad, eval-mode forward pass through
+    the compiled per-layer plans; everything the model's own ``forward`` does
+    between convolutions (BatchNorm, activations, concats, residual adds, ...)
+    runs unchanged, so arbitrary architectures are supported.
+
+    Use as::
+
+        report = RTOSSPruner(config).prune(model, example)
+        engine = compile_model(model, report.masks)
+        out = engine(batch)            # no-grad compiled inference
+        engine.detach()                # restore the plain model
+
+    The underlying model object is shared, not copied: weight updates between
+    calls are picked up via :meth:`refresh`, and gradient-enabled calls on the
+    raw model keep working while the engine is attached.
+    """
+
+    def __init__(self, model: Module, plans: Dict[str, ConvPlan],
+                 fallback_layers: List[str], mask_signature: Optional[str] = None) -> None:
+        self.model = model
+        self.plans = plans
+        self.fallback_layers = fallback_layers
+        self.mask_signature = mask_signature
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------ lifecycle
+    def attach(self) -> None:
+        """Install the compiled forwards on the model's layers (idempotent).
+
+        If another ``CompiledModel`` is currently attached to the same model,
+        its wrappers are replaced (never stacked) and it is marked detached, so
+        at most one engine owns a model's fast path at any time.
+        """
+        if self._attached:
+            return
+        modules = dict(self.model.named_modules())
+        for name, plan in self.plans.items():
+            layer = modules[name]
+            original = layer.forward
+            current = layer.__dict__.get("forward")
+            if getattr(current, "_engine_plan", None) is not None:
+                # Another engine's wrapper: unwrap it and hand ownership over.
+                previous_owner = getattr(current, "_engine_owner", None)
+                if previous_owner is not None and previous_owner is not self:
+                    previous_owner._attached = False
+                original = current._engine_original
+            layer.forward = _make_forward(plan, original, self)
+        self._attached = True
+
+    def detach(self) -> None:
+        """Remove this engine's compiled forwards, restoring the dense model.
+
+        Only wrappers this engine owns are removed — detaching an engine that
+        was superseded by a newer ``compile_model`` on the same model is a
+        no-op for the newer engine's wrappers.
+        """
+        if not self._attached:
+            return
+        modules = dict(self.model.named_modules())
+        for name in self.plans:
+            layer = modules[name]
+            wrapper = layer.__dict__.get("forward")
+            if getattr(wrapper, "_engine_owner", None) is self:
+                del layer.__dict__["forward"]
+        self._attached = False
+
+    def refresh(self) -> None:
+        """Re-sync plans with the model's current weights.
+
+        Weight-value changes are re-packed in place; a changed keep-mask (e.g.
+        after re-pruning) triggers full recompilation of that layer.
+        """
+        modules = dict(self.model.named_modules())
+        for name, plan in list(self.plans.items()):
+            layer = modules[name]
+            if plan.is_stale(layer):
+                was_attached = self._attached
+                wrapper = layer.__dict__.get("forward")
+                if was_attached and getattr(wrapper, "_engine_owner", None) is self:
+                    del layer.__dict__["forward"]
+                new_plan = compile_conv_plan(layer, name)
+                self.plans[name] = new_plan
+                if was_attached:
+                    layer.forward = _make_forward(new_plan, layer.forward, self)
+            else:
+                plan.refresh_weights(layer)
+
+    # ------------------------------------------------------------------ inference
+    def __call__(self, x) -> Tensor:
+        """No-grad, eval-mode forward pass through the compiled engine."""
+        if not self._attached:
+            self.attach()
+        if self.model.training:
+            self.model.eval()
+        if isinstance(x, np.ndarray):
+            x = Tensor(x)
+        with no_grad():
+            return self.model(x)
+
+    def forward_raw(self, data: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out convenience wrapper around :meth:`__call__`."""
+        out = self(Tensor(np.asarray(data, dtype=np.float32)))
+        return out.data
+
+    # ------------------------------------------------------------------ reporting
+    def summary(self) -> List[Dict[str, object]]:
+        """One row per compiled layer plus a row per dense fallback layer."""
+        rows = [plan.summary() for plan in self.plans.values()]
+        for name in self.fallback_layers:
+            rows.append({"layer": name, "mode": "dense-fallback", "kernel": "-",
+                         "columns": "-", "column_sparsity": 0.0, "weight_sparsity": 0.0})
+        return rows
+
+    @property
+    def num_compiled_layers(self) -> int:
+        return len(self.plans)
+
+    def total_columns(self) -> int:
+        return sum(plan.total_columns for plan in self.plans.values())
+
+    def kept_columns(self) -> int:
+        return sum(int(plan.kept_columns.size) for plan in self.plans.values())
+
+
+def compile_model(model: Module, masks: Optional[MaskSet] = None,
+                  apply_masks: bool = True) -> CompiledModel:
+    """Compile a (pruned) model for pattern-aware sparse inference.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.module.Module`; only its :class:`Conv2d` layers are
+        lowered, everything else executes through the model's own forward.
+    masks:
+        The pruning masks to compile against.  When given (and ``apply_masks``),
+        they are (re)applied first so the layer weights and registered masks are
+        guaranteed consistent; the mask-set signature is recorded for caching.
+        ``None`` compiles whatever zero structure the weights already have — a
+        dense model compiles too, it just keeps every column.
+    apply_masks:
+        Set to ``False`` if the masks were already applied and re-zeroing is
+        undesirable.
+    """
+    mask_signature = None
+    if masks is not None:
+        if apply_masks:
+            masks.apply(model)
+        mask_signature = masks.signature()
+
+    plans: Dict[str, ConvPlan] = {}
+    fallback: List[str] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, Conv2d):
+            continue
+        if module.groups != 1:
+            fallback.append(name)
+            continue
+        plans[name] = compile_conv_plan(module, name)
+
+    model.eval()
+    compiled = CompiledModel(model, plans, fallback, mask_signature)
+    logger.info(
+        "compiled %d conv layers (%d dense fallbacks): %d/%d im2col columns kept",
+        compiled.num_compiled_layers, len(fallback),
+        compiled.kept_columns(), compiled.total_columns(),
+    )
+    return compiled

@@ -1,0 +1,310 @@
+"""Per-layer execution plans for the pattern-aware sparse engine.
+
+The compile step (:func:`compile_conv_plan`) lowers one pruned :class:`Conv2d`
+into a :class:`ConvPlan` — a column-compacted GEMM description:
+
+* the weight tensor ``(O, I, kh, kw)`` is flattened to a matrix ``(O, I*kh*kw)``
+  and every column that is zero for *all* output channels (a tap that no kernel's
+  pattern keeps for that input channel) is dropped entirely — those taps are
+  never gathered from the input again,
+* the surviving columns are described by ``(channel, tap_row, tap_col)`` index
+  vectors from which a gather ("partial im2col") plan is built lazily per input
+  shape and cached — re-running the same layer on the same shape reuses the
+  cached layout,
+* 1x1 convolutions skip the gather altogether and execute as a channel GEMM on
+  the (optionally channel-compacted) feature map — the fast path for the layers
+  Algorithm 3 prunes.
+
+Dropping all-zero columns is *exact*: a zero weight contributes nothing to the
+convolution, so the compiled output equals the dense masked output bit-for-bit
+up to float summation order.  The more structure a pruner produces (shared
+patterns within a DFS group, connectivity pruning, whole-kernel removal), the
+more columns drop and the smaller both the gather and the GEMM become.
+
+Cache structure: every plan owns its gather layouts, keyed by input shape, so
+one compiled model reuses layouts per (layer, pattern set, input shape) across
+calls.  The plan's ``signature`` hashes its kept-column set; ``is_stale``
+compares it against the layer's current mask so ``CompiledModel.refresh()``
+recompiles exactly the layers whose pattern assignment changed (plain weight
+updates are re-packed without recompiling).  A fresh ``compile_model`` call
+always builds fresh plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv2d
+
+#: Execution modes a plan can take.
+MODE_POINTWISE = "pointwise-gemm"
+MODE_IM2COL = "sparse-im2col-gemm"
+
+
+@dataclass
+class LayoutCacheStats:
+    """Hit/miss counters of the per-plan layout caches (observability only)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide counters, aggregated over every plan (see :func:`layout_cache_stats`).
+_GLOBAL_CACHE_STATS = LayoutCacheStats()
+
+
+def layout_cache_stats() -> LayoutCacheStats:
+    """Aggregate layout-cache statistics across all compiled plans."""
+    return _GLOBAL_CACHE_STATS
+
+
+def reset_layout_cache_stats() -> None:
+    _GLOBAL_CACHE_STATS.hits = 0
+    _GLOBAL_CACHE_STATS.misses = 0
+
+
+@dataclass
+class ConvPlan:
+    """Compiled execution plan of one convolution layer.
+
+    Attributes
+    ----------
+    layer_name:
+        Dotted module path of the layer inside its model.
+    mode:
+        ``"pointwise-gemm"`` for 1x1 convolutions, ``"sparse-im2col-gemm"``
+        otherwise.
+    kernel_size, stride, padding:
+        Geometry copied from the layer at compile time.
+    total_columns / kept_columns:
+        Size of the dense im2col column space (``I * kh * kw``) and the indices
+        of the columns that survived compaction.
+    weight_matrix:
+        ``(O, K)`` compacted weight matrix (only kept columns).
+    bias:
+        Per-output-channel bias or ``None``.
+    signature:
+        Content hash of the kept-column set — part of the layout-cache key and
+        compared against the layer's current mask by :meth:`is_stale`.
+    """
+
+    layer_name: str
+    mode: str
+    kernel_size: Tuple[int, int]
+    stride: Tuple[int, int]
+    padding: Tuple[int, int]
+    out_channels: int
+    total_columns: int
+    kept_columns: np.ndarray
+    weight_matrix: np.ndarray
+    bias: Optional[np.ndarray]
+    channel_index: np.ndarray
+    tap_rows: np.ndarray
+    tap_cols: np.ndarray
+    signature: str
+    # Kept input channels for the pointwise fast path; None means "all channels".
+    pointwise_channels: Optional[np.ndarray] = None
+    _layouts: Dict[Tuple[int, int, int], tuple] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ statistics
+    @property
+    def dropped_columns(self) -> int:
+        """Columns (input-channel x tap pairs) the compiled path never touches."""
+        return self.total_columns - int(self.kept_columns.size)
+
+    @property
+    def column_sparsity(self) -> float:
+        """Fraction of the dense im2col column space that was dropped."""
+        if self.total_columns == 0:
+            return 0.0
+        return self.dropped_columns / self.total_columns
+
+    @property
+    def weight_sparsity(self) -> float:
+        """Fraction of zeros remaining *inside* the compacted weight matrix."""
+        if self.weight_matrix.size == 0:
+            return 0.0
+        return 1.0 - np.count_nonzero(self.weight_matrix) / self.weight_matrix.size
+
+    def macs_per_position(self) -> int:
+        """Multiply-accumulates per output position of the compiled GEMM."""
+        return int(self.out_channels * self.kept_columns.size)
+
+    def summary(self) -> Dict[str, object]:
+        """One table row describing this plan (used by ``CompiledModel.summary``)."""
+        return {
+            "layer": self.layer_name,
+            "mode": self.mode,
+            "kernel": f"{self.kernel_size[0]}x{self.kernel_size[1]}",
+            "columns": f"{int(self.kept_columns.size)}/{self.total_columns}",
+            "column_sparsity": round(float(self.column_sparsity), 4),
+            "weight_sparsity": round(float(self.weight_sparsity), 4),
+        }
+
+    # ------------------------------------------------------------------ staleness
+    def is_stale(self, layer: Conv2d) -> bool:
+        """True when the layer's mask no longer matches this plan.
+
+        Weight *values* may change freely (the compiled matrix is refreshed via
+        :meth:`refresh_weights`); a changed *mask* requires recompilation.
+        """
+        return column_signature(_kept_column_indices(layer)) != self.signature
+
+    def refresh_weights(self, layer: Conv2d) -> None:
+        """Re-pack the compacted weight matrix from the layer's current weights.
+
+        Call after fine-tuning steps that changed weight values but kept the
+        pattern assignment (the usual R-TOSS fine-tuning regime).  The keep-mask
+        is applied during packing, so weights that drifted nonzero at masked
+        positions (fine-tuning without ``masks.reapply``) are still treated as
+        pruned — the compiled path always computes the *masked* forward.
+        """
+        self.weight_matrix = _packed_weight_matrix(layer, self.kept_columns)
+        self.bias = None if layer.bias is None else layer.bias.data.astype(np.float32)
+
+    # ------------------------------------------------------------------ layout
+    def layout_for(self, input_shape: Tuple[int, int, int]) -> tuple:
+        """Gather indices for one ``(C, H, W)`` input shape (cached per plan)."""
+        cached = self._layouts.get(input_shape)
+        if cached is not None:
+            _GLOBAL_CACHE_STATS.hits += 1
+            return cached
+        _GLOBAL_CACHE_STATS.misses += 1
+        _, h, w = input_shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        out_h = (h + 2 * ph - kh) // sh + 1
+        out_w = (w + 2 * pw - kw) // sw + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"convolution output would be empty for input {input_shape}, "
+                f"kernel {self.kernel_size}, stride {self.stride}, padding {self.padding}"
+            )
+        oy = sh * np.repeat(np.arange(out_h), out_w)
+        ox = sw * np.tile(np.arange(out_w), out_h)
+        rows = self.tap_rows[:, None] + oy[None, :]            # (K, L)
+        cols = self.tap_cols[:, None] + ox[None, :]            # (K, L)
+        chans = self.channel_index[:, None]                    # (K, 1)
+        layout = (chans, rows, cols, out_h, out_w)
+        self._layouts[input_shape] = layout
+        return layout
+
+
+def _kept_column_indices(layer: Conv2d) -> np.ndarray:
+    """Indices of im2col columns with at least one surviving weight."""
+    weight = layer.weight.data
+    mask = layer.keep_mask()
+    effective = weight * mask
+    flat = effective.reshape(effective.shape[0], -1)
+    return np.nonzero(np.any(flat != 0.0, axis=0))[0]
+
+
+def _packed_weight_matrix(layer: Conv2d, kept: np.ndarray) -> np.ndarray:
+    """Column-compacted ``(O, K)`` weight matrix with the keep-mask applied."""
+    effective = layer.weight.data * layer.keep_mask()
+    wmat = effective.reshape(effective.shape[0], -1)
+    return np.ascontiguousarray(wmat[:, kept], dtype=np.float32)
+
+
+def column_signature(kept: np.ndarray) -> str:
+    """Stable hash of a kept-column set (part of the layout-cache key)."""
+    return hashlib.sha256(np.asarray(kept, dtype=np.int64).tobytes()).hexdigest()[:16]
+
+
+def compile_conv_plan(layer: Conv2d, layer_name: str = "") -> ConvPlan:
+    """Lower one convolution layer into a :class:`ConvPlan`.
+
+    Raises
+    ------
+    ValueError
+        For grouped convolutions (``groups > 1``) — the caller is expected to
+        leave those on the dense fallback path.
+    """
+    if layer.groups != 1:
+        raise ValueError(
+            f"cannot compile grouped convolution {layer_name!r} (groups={layer.groups}); "
+            "leave it on the dense fallback path"
+        )
+    weight = layer.weight.data
+    out_channels = weight.shape[0]
+    kh, kw = layer.kernel_size
+    kept = _kept_column_indices(layer)
+
+    channel_index = kept // (kh * kw)
+    tap = kept % (kh * kw)
+    tap_rows = tap // kw
+    tap_cols = tap % kw
+
+    pointwise = (kh, kw) == (1, 1) and layer.padding == (0, 0)
+    pointwise_channels: Optional[np.ndarray] = None
+    if pointwise and kept.size < weight.shape[1]:
+        pointwise_channels = channel_index
+
+    plan = ConvPlan(
+        layer_name=layer_name,
+        mode=MODE_POINTWISE if pointwise else MODE_IM2COL,
+        kernel_size=(kh, kw),
+        stride=layer.stride,
+        padding=layer.padding,
+        out_channels=out_channels,
+        total_columns=int(weight.size // out_channels) if out_channels else 0,
+        kept_columns=kept,
+        weight_matrix=_packed_weight_matrix(layer, kept),
+        bias=None if layer.bias is None else layer.bias.data.astype(np.float32),
+        channel_index=channel_index,
+        tap_rows=tap_rows,
+        tap_cols=tap_cols,
+        signature=column_signature(kept),
+        pointwise_channels=pointwise_channels,
+    )
+    return plan
+
+
+def execute_plan(plan: ConvPlan, data: np.ndarray) -> np.ndarray:
+    """Run one compiled convolution on raw NCHW input, returning raw output."""
+    n, c, h, w = data.shape
+    out_channels = plan.out_channels
+
+    if plan.kept_columns.size == 0:
+        # Fully pruned layer: output is the (broadcast) bias, or zeros.
+        kh, kw = plan.kernel_size
+        sh, sw = plan.stride
+        ph, pw = plan.padding
+        out_h = (h + 2 * ph - kh) // sh + 1
+        out_w = (w + 2 * pw - kw) // sw + 1
+        out = np.zeros((n, out_channels, out_h, out_w), dtype=np.float32)
+        if plan.bias is not None:
+            out += plan.bias.reshape(1, -1, 1, 1)
+        return out
+
+    if plan.mode == MODE_POINTWISE:
+        sh, sw = plan.stride
+        if (sh, sw) != (1, 1):
+            data = data[:, :, ::sh, ::sw]
+        out_h, out_w = data.shape[2], data.shape[3]
+        feat = data if plan.pointwise_channels is None else data[:, plan.pointwise_channels]
+        ck = feat.shape[1]
+        gemm_in = feat.transpose(1, 0, 2, 3).reshape(ck, n * out_h * out_w)
+    else:
+        ph, pw = plan.padding
+        chans, rows, cols, out_h, out_w = plan.layout_for((c, h, w))
+        if ph or pw:
+            data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        columns = data[:, chans, rows, cols]                   # (N, K, L)
+        k = plan.weight_matrix.shape[1]
+        gemm_in = columns.transpose(1, 0, 2).reshape(k, n * out_h * out_w)
+
+    out = plan.weight_matrix @ gemm_in                          # (O, N*L)
+    out = out.reshape(out_channels, n, out_h * out_w)
+    out = out.transpose(1, 0, 2).reshape(n, out_channels, out_h, out_w)
+    if plan.bias is not None:
+        out = out + plan.bias.reshape(1, -1, 1, 1)
+    return np.ascontiguousarray(out, dtype=np.float32)

@@ -1,0 +1,145 @@
+"""Batched inference runner over the compiled execution engine.
+
+:class:`BatchRunner` is the front door the evaluator, the CLI and the examples
+use to push work through a :class:`repro.engine.compiler.CompiledModel`: it
+splits an input stack into batches, runs each batch under ``no_grad`` and
+re-assembles the outputs, collecting wall-clock statistics along the way.
+
+It also accepts a plain :class:`repro.nn.module.Module`, in which case the same
+batching/timing machinery drives the dense path — that is how the engine
+benchmarks obtain an apples-to-apples dense baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.compiler import CompiledModel
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass
+class RunnerStats:
+    """Wall-clock statistics of one :meth:`BatchRunner.run` call."""
+
+    batches: int = 0
+    images: int = 0
+    seconds: float = 0.0
+    batch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def images_per_second(self) -> float:
+        return self.images / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        return self.seconds / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "images": self.images,
+            "seconds": round(self.seconds, 4),
+            "images_per_second": round(self.images_per_second, 2),
+        }
+
+
+def _to_numpy(output) -> Union[np.ndarray, tuple, list, dict]:
+    """Recursively unwrap Tensors so outputs can be concatenated/stored."""
+    if isinstance(output, Tensor):
+        return output.data
+    if isinstance(output, (tuple, list)):
+        return type(output)(_to_numpy(item) for item in output)
+    if isinstance(output, dict):
+        return {key: _to_numpy(value) for key, value in output.items()}
+    return output
+
+
+def _concat_outputs(outputs: List):
+    """Concatenate per-batch outputs along the batch axis, structure-preserving."""
+    first = outputs[0]
+    if isinstance(first, np.ndarray):
+        return np.concatenate(outputs, axis=0)
+    if isinstance(first, (tuple, list)):
+        return type(first)(
+            _concat_outputs([batch[index] for batch in outputs])
+            for index in range(len(first))
+        )
+    if isinstance(first, dict):
+        return {key: _concat_outputs([batch[key] for batch in outputs]) for key in first}
+    return outputs
+
+
+class BatchRunner:
+    """Feed batches of inputs through a compiled (or plain) model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`CompiledModel` (the intended use) or any plain module — plain
+        modules are still run under ``no_grad`` in eval mode so the comparison
+        against the engine only measures execution strategy, not tape overhead.
+    batch_size:
+        Inputs are chunked to at most this many images per forward pass.
+
+    Example
+    -------
+    >>> engine = compile_model(model, report.masks)      # doctest: +SKIP
+    >>> runner = BatchRunner(engine, batch_size=8)       # doctest: +SKIP
+    >>> outputs = runner.run(images)                     # doctest: +SKIP
+    >>> runner.last_stats.images_per_second              # doctest: +SKIP
+    """
+
+    def __init__(self, model: Union[CompiledModel, Module], batch_size: int = 8) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.last_stats = RunnerStats()
+
+    # ------------------------------------------------------------------ execution
+    def _forward(self, batch: np.ndarray):
+        if isinstance(self.model, CompiledModel):
+            return _to_numpy(self.model(Tensor(batch)))
+        if self.model.training:
+            self.model.eval()
+        with no_grad():
+            return _to_numpy(self.model(Tensor(batch)))
+
+    def run(self, inputs: Union[np.ndarray, Tensor, Sequence[np.ndarray]]):
+        """Run every input image and return the stacked outputs.
+
+        ``inputs`` may be a stacked NCHW array/Tensor or a sequence of NCHW
+        batches; outputs are concatenated along the batch axis (tuples/dicts of
+        tensors are concatenated element-wise).
+        """
+        if isinstance(inputs, Tensor):
+            inputs = inputs.data
+        if isinstance(inputs, np.ndarray):
+            batches: Iterable[np.ndarray] = (
+                inputs[start:start + self.batch_size]
+                for start in range(0, inputs.shape[0], self.batch_size)
+            )
+        else:
+            batches = inputs
+
+        stats = RunnerStats()
+        outputs = []
+        for batch in batches:
+            batch = np.ascontiguousarray(batch, dtype=np.float32)
+            start = time.perf_counter()
+            outputs.append(self._forward(batch))
+            elapsed = time.perf_counter() - start
+            stats.batches += 1
+            stats.images += batch.shape[0]
+            stats.seconds += elapsed
+            stats.batch_seconds.append(elapsed)
+        self.last_stats = stats
+        if not outputs:
+            raise ValueError("BatchRunner.run received no input batches")
+        return _concat_outputs(outputs)

@@ -3,6 +3,10 @@
 For a given model factory and pruner the evaluator produces everything the paper's
 figures need: compression ratio (parameters and storage), per-platform latency and
 speedup, per-platform energy and reduction, and the estimated mAP.
+
+With ``measure_engine=True`` it additionally feeds the pruned model through the
+pattern-aware execution engine (:mod:`repro.engine`) via its batched runner and
+records a *measured* host-CPU speedup next to the modeled platform speedups.
 """
 
 from __future__ import annotations
@@ -43,6 +47,9 @@ class FrameworkResult:
     energy_reduction_percent: Dict[str, float]
     report: Optional[PruningReport] = None
     accuracy: Optional[AccuracyEstimate] = None
+    #: Wall-clock engine measurement (repro.engine.EngineMeasurement) when the
+    #: evaluator ran with ``measure_engine=True``; None otherwise.
+    measured: Optional[object] = None
 
     def row(self) -> Dict[str, float]:
         """Flat dictionary used by the table/figure formatters."""
@@ -62,6 +69,9 @@ class FrameworkResult:
             row[f"energy_J[{platform}]"] = round(value, 3)
         for platform, value in self.energy_reduction_percent.items():
             row[f"energy_reduction_%[{platform}]"] = round(value, 2)
+        if self.measured is not None:
+            row["measured_speedup[host]"] = round(self.measured.speedup, 2)
+            row["measured_latency_ms[host]"] = round(self.measured.compiled_seconds * 1e3, 2)
         return row
 
 
@@ -81,12 +91,21 @@ class DetectorEvaluator:
         Input resolution of the latency/energy evaluation (the paper uses 640).
     platforms:
         Platform models to evaluate on; defaults to RTX 2080Ti and Jetson TX2.
+    measure_engine:
+        When True, every :meth:`evaluate` call also runs the pruned model through
+        the compiled execution engine (batched by
+        :class:`repro.engine.runner.BatchRunner`) and stores the wall-clock
+        measurement on :attr:`FrameworkResult.measured`.  Off by default because
+        it performs real forward passes; the measurement input is a
+        ``(measure_batch, 3, trace_size, trace_size)`` batch, not the full
+        ``image_size`` resolution.
     """
 
     def __init__(self, model_factory: ModelFactory, model_key: str, baseline_map: float,
                  image_size: int = 640, probe_size: int = 64,
                  platforms: Optional[List[PlatformSpec]] = None,
-                 trace_size: int = 64) -> None:
+                 trace_size: int = 64, measure_engine: bool = False,
+                 measure_batch: int = 2, measure_repeats: int = 3) -> None:
         self.model_factory = model_factory
         self.model_key = model_key
         self.baseline_map = float(baseline_map)
@@ -94,6 +113,9 @@ class DetectorEvaluator:
         self.probe_size = int(probe_size)
         self.trace_size = int(trace_size)
         self.platforms = platforms or [RTX_2080TI, JETSON_TX2]
+        self.measure_engine = bool(measure_engine)
+        self.measure_batch = int(measure_batch)
+        self.measure_repeats = int(measure_repeats)
         self._profile: Optional[ModelCostProfile] = None
         self._baseline_latency: Dict[str, float] = {}
         self._baseline_energy: Dict[str, float] = {}
@@ -170,6 +192,10 @@ class DetectorEvaluator:
                 1.0 - en.total_joules / self._baseline_energy[platform.name]
             )
 
+        measured = None
+        if self.measure_engine:
+            measured = self._measure_engine(model, report)
+
         return FrameworkResult(
             framework=report.framework,
             model_name=self.model_key,
@@ -184,6 +210,20 @@ class DetectorEvaluator:
             energy_reduction_percent=reduction,
             report=report,
             accuracy=accuracy,
+            measured=measured,
+        )
+
+    def _measure_engine(self, model: Module, report: PruningReport):
+        """Wall-clock dense-vs-compiled measurement of the freshly pruned model."""
+        from repro.engine.bench import measure_speedup
+
+        return measure_speedup(
+            model,
+            masks=report.masks,
+            repeats=self.measure_repeats,
+            batch=self.measure_batch,
+            image_size=self.trace_size,
+            model_name=self.model_key,
         )
 
     # ------------------------------------------------------------------ helpers

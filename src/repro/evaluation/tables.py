@@ -16,7 +16,16 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[List[st
     if not rows:
         return title or ""
     if columns is None:
+        # Union of all row keys, first-seen order: rows may carry extra columns
+        # the first row lacks (e.g. the baseline row has no measured-engine
+        # columns); missing cells render blank.
         columns = list(rows[0].keys())
+        seen = set(columns)
+        for row in rows[1:]:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    columns.append(key)
 
     def render(value: object) -> str:
         if isinstance(value, float):

@@ -13,7 +13,13 @@ from repro.hardware.cost_model import (
     profile_model,
 )
 from repro.hardware.energy import EnergyEstimate, energy_reduction_percent, estimate_energy
-from repro.hardware.latency import LatencyEstimate, LayerLatency, estimate_latency, speedup_over
+from repro.hardware.latency import (
+    LatencyEstimate,
+    LayerLatency,
+    attach_measured,
+    estimate_latency,
+    speedup_over,
+)
 from repro.hardware.platform import (
     DEFAULT_SKIP_EFFICIENCY,
     JETSON_TX2,
@@ -29,7 +35,7 @@ __all__ = [
     "storage_compression_ratio",
     "BYTES_PER_WEIGHT", "LayerCost", "ModelCostProfile", "profile_model",
     "EnergyEstimate", "energy_reduction_percent", "estimate_energy",
-    "LatencyEstimate", "LayerLatency", "estimate_latency", "speedup_over",
+    "LatencyEstimate", "LayerLatency", "attach_measured", "estimate_latency", "speedup_over",
     "DEFAULT_SKIP_EFFICIENCY", "JETSON_TX2", "PLATFORMS", "RTX_2080TI", "PlatformSpec",
     "get_platform",
     "LayerSparsity", "SparsityProfile", "structure_for_method",

@@ -35,7 +35,14 @@ class LayerLatency:
 
 @dataclass
 class LatencyEstimate:
-    """Latency estimate of a (possibly pruned) model on one platform."""
+    """Latency estimate of a (possibly pruned) model on one platform.
+
+    ``measured_seconds`` is an optional *wall-clock* measurement from the
+    execution engine (:func:`repro.engine.measure_speedup`) attached next to the
+    analytical estimate — the "measured" column of the Fig. 6 tables.  It is
+    recorded on the host CPU, so it validates the *relative* speedup story of
+    the model rather than the absolute platform numbers.
+    """
 
     platform: str
     framework: str
@@ -43,14 +50,30 @@ class LatencyEstimate:
     layers: List[LayerLatency] = field(default_factory=list)
     effective_macs: float = 0.0
     memory_bytes: float = 0.0
+    measured_seconds: Optional[float] = None
 
     @property
     def total_milliseconds(self) -> float:
         return self.total_seconds * 1e3
 
     @property
+    def measured_milliseconds(self) -> Optional[float]:
+        return None if self.measured_seconds is None else self.measured_seconds * 1e3
+
+    @property
     def fps(self) -> float:
         return 1.0 / self.total_seconds if self.total_seconds > 0 else float("inf")
+
+    def row(self) -> dict:
+        """Flat table row: modeled latency plus the measured column when present."""
+        row = {
+            "platform": self.platform,
+            "framework": self.framework,
+            "modeled_ms": round(self.total_milliseconds, 2),
+        }
+        if self.measured_seconds is not None:
+            row["measured_ms"] = round(self.measured_seconds * 1e3, 2)
+        return row
 
 
 def _effective_macs(layer: LayerCost, sparsity: float, structure: str,
@@ -123,3 +146,13 @@ def speedup_over(baseline: LatencyEstimate, pruned: LatencyEstimate) -> float:
     if pruned.total_seconds <= 0:
         return float("inf")
     return baseline.total_seconds / pruned.total_seconds
+
+
+def attach_measured(estimate: LatencyEstimate, measured_seconds: float) -> LatencyEstimate:
+    """Attach a wall-clock measurement to an analytical estimate (in place).
+
+    Used by the engine benchmarks and the CLI to print modeled and measured
+    latency side by side; returns the estimate for chaining.
+    """
+    estimate.measured_seconds = float(measured_seconds)
+    return estimate

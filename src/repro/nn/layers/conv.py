@@ -4,6 +4,13 @@
 every Conv2d by kernel size (3x3 pattern pruning, 1x1 transformation, other sizes
 left dense) and stores the selected pattern masks on the layer itself so that
 fine-tuning and sparsity accounting can see them.
+
+The stored masks are also what the pattern-aware execution engine
+(:mod:`repro.engine`) compiles: :meth:`Conv2d.keep_mask` exposes the effective
+keep-mask from which the engine derives its column-compacted GEMM plans, and
+:func:`repro.engine.compile_model` shadows :meth:`Conv2d.forward` with the
+compiled fast path (the dense autograd path below remains the fallback whenever
+gradients are enabled).
 """
 
 from __future__ import annotations
@@ -92,6 +99,19 @@ class Conv2d(Module):
         """Fraction of zero entries in the weight tensor."""
         total = self.weight.size
         return 1.0 - (np.count_nonzero(self.weight.data) / total) if total else 0.0
+
+    def keep_mask(self) -> np.ndarray:
+        """Effective binary keep-mask of the weight tensor.
+
+        When a pruner has registered a mask (via :meth:`repro.core.masks.MaskSet.apply`)
+        that mask is returned; otherwise the non-zero map of the weights is used, so
+        an unpruned layer reports an all-ones mask.  The execution engine
+        (:mod:`repro.engine`) compiles its per-layer gather plans from this mask.
+        """
+        mask = self.pruning_masks.get("weight")
+        if mask is not None:
+            return np.asarray(mask, dtype=np.float32)
+        return (self.weight.data != 0.0).astype(np.float32)
 
     def extra_repr(self) -> str:
         return (

@@ -25,6 +25,46 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+# Global autograd switch, flipped by :class:`no_grad`.  When disabled, produced
+# tensors are never wired into the tape, which removes the closure/bookkeeping
+# overhead from pure-inference forward passes (the compiled execution engine in
+# :mod:`repro.engine` runs entirely in this mode).
+_GRAD_ENABLED: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """True when new tensor operations are recorded on the autograd tape."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager that disables autograd tape construction.
+
+    Inside the context every operation returns a plain (parent-less) tensor, so
+    no backward closures are created and no intermediate arrays are kept alive
+    for the backward pass.  Nesting is supported; the previous state is restored
+    on exit.
+
+    Example
+    -------
+    >>> from repro.nn.tensor import Tensor, no_grad
+    >>> w = Tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = w * 2.0
+    >>> y.requires_grad
+    False
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
 
 def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
     if isinstance(value, np.ndarray):
@@ -116,6 +156,8 @@ class Tensor:
         backward: Optional[Callable[[np.ndarray], None]],
     ) -> "Tensor":
         """Build a result tensor, wiring it into the tape when grads are needed."""
+        if not _GRAD_ENABLED:
+            return Tensor(data)
         parents = tuple(parents)
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)

@@ -1,0 +1,271 @@
+"""BatchRunner, layout-cache, refresh and measurement behaviour of the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rtoss import prune_with_rtoss
+from repro.engine import (
+    BatchRunner,
+    compile_model,
+    layout_cache_stats,
+    measure_speedup,
+    reset_layout_cache_stats,
+)
+from repro.evaluation.evaluator import DetectorEvaluator
+from repro.models.tiny import TinyDetector, TinyDetectorConfig
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def _pruned_tiny(entries: int = 2):
+    model = TinyDetector(TinyDetectorConfig(num_classes=3, image_size=64, base_channels=8))
+    report = prune_with_rtoss(
+        model, entries=entries,
+        example_input=Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32)),
+    )
+    return model, report
+
+
+# --------------------------------------------------------------------------- no_grad
+def test_no_grad_context_disables_and_restores_tape():
+    w = Tensor([2.0], requires_grad=True)
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        y = w * 3.0
+        assert not y.requires_grad
+        with no_grad():      # nesting keeps the disabled state
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+    assert (w * 3.0).requires_grad
+
+
+# --------------------------------------------------------------------------- runner
+def test_batch_runner_matches_single_batch(rng):
+    model, report = _pruned_tiny()
+    compiled = compile_model(model, report.masks)
+    try:
+        x = rng.standard_normal((7, 3, 64, 64)).astype(np.float32)
+        full = BatchRunner(compiled, batch_size=7).run(x)
+        chunked = BatchRunner(compiled, batch_size=3).run(x)
+        np.testing.assert_allclose(full, chunked, atol=0, rtol=0)
+        assert full.shape[0] == 7
+    finally:
+        compiled.detach()
+
+
+def test_batch_runner_stats_and_plain_module(rng):
+    model, _ = _pruned_tiny()
+    runner = BatchRunner(model, batch_size=2)   # plain module: dense no-grad path
+    x = rng.standard_normal((5, 3, 64, 64)).astype(np.float32)
+    out = runner.run(x)
+    stats = runner.last_stats
+    assert out.shape[0] == 5
+    assert stats.batches == 3
+    assert stats.images == 5
+    assert stats.seconds > 0
+    assert stats.images_per_second > 0
+    assert len(stats.batch_seconds) == 3
+
+
+def test_batch_runner_rejects_empty_and_bad_batch_size():
+    model, _ = _pruned_tiny()
+    with pytest.raises(ValueError):
+        BatchRunner(model, batch_size=0)
+    runner = BatchRunner(model, batch_size=2)
+    with pytest.raises(ValueError):
+        runner.run(np.zeros((0, 3, 64, 64), dtype=np.float32))
+
+
+# --------------------------------------------------------------------------- cache
+def test_layout_cache_reused_across_calls(rng):
+    model, report = _pruned_tiny()
+    compiled = compile_model(model, report.masks)
+    try:
+        reset_layout_cache_stats()
+        x = Tensor(rng.standard_normal((2, 3, 64, 64)).astype(np.float32))
+        compiled(x)
+        first = layout_cache_stats().misses
+        assert first > 0
+        compiled(x)
+        assert layout_cache_stats().misses == first, "second call must hit the cache"
+        assert layout_cache_stats().hits > 0
+    finally:
+        compiled.detach()
+        reset_layout_cache_stats()
+
+
+def test_refresh_picks_up_weight_changes(rng):
+    model, report = _pruned_tiny()
+    compiled = compile_model(model, report.masks)
+    try:
+        x = Tensor(rng.standard_normal((1, 3, 64, 64)).astype(np.float32))
+        before = compiled(x).data.copy()
+        # Fine-tuning-style update: scale surviving weights, keep the mask.
+        for _, param in model.named_parameters():
+            param.data *= 1.5
+        report.masks.reapply(model)
+        compiled.refresh()
+        after = compiled(x).data
+        assert not np.allclose(before, after)
+        model.eval()
+        dense = model(x).data
+        np.testing.assert_allclose(after, dense, atol=1e-4, rtol=0)
+    finally:
+        compiled.detach()
+
+
+def test_refresh_recompiles_on_mask_change(rng):
+    model, report = _pruned_tiny(entries=3)
+    compiled = compile_model(model, report.masks)
+    try:
+        name, plan = next(iter(compiled.plans.items()))
+        layer = dict(model.named_modules())[name]
+        # Prune one extra whole column -> the plan signature goes stale.
+        mask = layer.keep_mask()
+        col = int(plan.kept_columns[0])
+        kh, kw = plan.kernel_size
+        mask.reshape(mask.shape[0], -1)[:, col] = 0.0
+        layer.pruning_masks["weight"] = mask
+        layer.weight.data *= mask
+        assert plan.is_stale(layer)
+        compiled.refresh()
+        new_plan = compiled.plans[name]
+        assert new_plan.signature != plan.signature
+        assert col not in new_plan.kept_columns
+        x = Tensor(rng.standard_normal((1, 3, 64, 64)).astype(np.float32))
+        model_out = compiled(x).data
+        model.eval()
+        np.testing.assert_allclose(model_out, model(x).data, atol=1e-5, rtol=0)
+    finally:
+        compiled.detach()
+
+
+def test_refresh_masks_drifted_weights(rng):
+    """Fine-tuning without masks.reapply() must not leak pruned weights into the
+    compiled path: refresh() re-packs with the keep-mask applied."""
+    model, report = _pruned_tiny()
+    compiled = compile_model(model, report.masks)
+    try:
+        # Simulate dense-path gradient drift: every weight (masked ones too)
+        # moves away from zero, and reapply() is *not* called.
+        for _, param in model.named_parameters():
+            param.data += 0.01
+        compiled.refresh()
+        x = Tensor(rng.standard_normal((1, 3, 64, 64)).astype(np.float32))
+        compiled_out = compiled(x).data
+        # Ground truth: the masked-dense forward.
+        report.masks.reapply(model)
+        model.eval()
+        masked_dense = model(x).data
+        np.testing.assert_allclose(compiled_out, masked_dense, atol=1e-5, rtol=0)
+    finally:
+        compiled.detach()
+
+
+def test_second_engine_takes_over_cleanly(rng):
+    """Compiling a second engine on the same model supersedes the first instead
+    of stacking; detaching either leaves the model in a consistent state."""
+    model, report = _pruned_tiny()
+    x = Tensor(rng.standard_normal((1, 3, 64, 64)).astype(np.float32))
+    first = compile_model(model, report.masks)
+    expected = first(x).data.copy()
+    second = compile_model(model, report.masks, apply_masks=False)
+    assert not first._attached, "second engine must mark the first detached"
+    np.testing.assert_allclose(second(x).data, expected, atol=0, rtol=0)
+
+    # Detaching the superseded engine must not strip the active one.
+    first.detach()
+    layers_with_wrappers = [
+        name for name, mod in model.named_modules()
+        if getattr(mod.__dict__.get("forward"), "_engine_plan", None) is not None
+    ]
+    assert layers_with_wrappers, "active engine wrappers must survive first.detach()"
+    np.testing.assert_allclose(second(x).data, expected, atol=0, rtol=0)
+
+    second.detach()
+    assert not any(
+        getattr(mod.__dict__.get("forward"), "_engine_plan", None) is not None
+        for _, mod in model.named_modules()
+    ), "model must be fully dense after the active engine detaches"
+    out = model(x)
+    assert out.requires_grad  # taped dense path restored
+
+
+def test_mask_signature_stable_and_sensitive():
+    _, report_a = _pruned_tiny(entries=2)
+    _, report_b = _pruned_tiny(entries=2)
+    _, report_c = _pruned_tiny(entries=3)
+    assert report_a.masks.signature() == report_b.masks.signature()
+    assert report_a.masks.signature() != report_c.masks.signature()
+
+
+def test_runner_and_bench_handle_multi_output_models(rng):
+    """Detectors returning tuples of tensors (multi-scale heads) work end to end."""
+    from repro.nn.layers.conv import Conv2d
+    from repro.nn.module import Module
+
+    class TwoHead(Module):
+        def __init__(self):
+            super().__init__()
+            self.trunk = Conv2d(3, 8, 3, rng=np.random.default_rng(0))
+            self.head_a = Conv2d(8, 4, 1, padding=0, rng=np.random.default_rng(1))
+            self.head_b = Conv2d(8, 6, 3, stride=2, rng=np.random.default_rng(2))
+
+        def forward(self, x):
+            features = self.trunk(x)
+            return self.head_a(features), self.head_b(features)
+
+    model = TwoHead()
+    x = rng.standard_normal((5, 3, 16, 16)).astype(np.float32)
+    compiled = compile_model(model)
+    try:
+        out_a, out_b = BatchRunner(compiled, batch_size=2).run(x)
+        assert out_a.shape[0] == 5 and out_b.shape[0] == 5
+    finally:
+        compiled.detach()
+    m = measure_speedup(model, x=x, repeats=1, warmup=0, model_name="twohead")
+    assert m.max_abs_diff < 1e-5  # diff computed across the whole tuple
+
+
+# --------------------------------------------------------------------------- bench
+def test_measure_speedup_reports_equivalent_outputs():
+    model, report = _pruned_tiny()
+    m = measure_speedup(model, masks=report.masks, repeats=1, warmup=0,
+                        batch=1, image_size=64, model_name="tiny")
+    assert m.max_abs_diff < 1e-5
+    assert m.dense_seconds > 0 and m.compiled_seconds > 0
+    assert m.compiled_layers > 0
+    row = m.row()
+    assert "measured_speedup" in row and "dense_ms" in row
+    # The engine must leave the model dense-callable (detached).
+    out = model(Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32)))
+    assert out.requires_grad
+
+
+def test_evaluator_measured_column():
+    factory = lambda: TinyDetector(
+        TinyDetectorConfig(num_classes=3, image_size=64, base_channels=8))
+    evaluator = DetectorEvaluator(factory, "tiny", baseline_map=60.0,
+                                  image_size=64, probe_size=32, trace_size=64,
+                                  measure_engine=True, measure_batch=1,
+                                  measure_repeats=1)
+    from repro.core.config import RTOSSConfig
+    from repro.core.rtoss import RTOSSPruner
+
+    result = evaluator.evaluate(RTOSSPruner(RTOSSConfig(entries=2)))
+    assert result.measured is not None
+    assert result.measured.max_abs_diff < 1e-5
+    row = result.row()
+    assert "measured_speedup[host]" in row
+    assert "measured_latency_ms[host]" in row
+
+    # The measured columns must survive table rendering even when the first
+    # (baseline) row lacks them — format_table unions columns across rows.
+    from repro.evaluation.tables import format_table
+
+    baseline = evaluator.evaluate_baseline()
+    table = format_table([baseline.row(), row])
+    assert "measured_speedup[host]" in table

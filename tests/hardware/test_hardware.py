@@ -154,6 +154,19 @@ class TestLatency:
         latency = estimate_latency(profile, RTX_2080TI)
         assert latency.fps == pytest.approx(1.0 / latency.total_seconds)
 
+    def test_measured_column(self, tiny_profile):
+        from repro.hardware import attach_measured
+
+        _, profile = tiny_profile
+        latency = estimate_latency(profile, JETSON_TX2)
+        assert latency.measured_seconds is None
+        assert "measured_ms" not in latency.row()
+        attach_measured(latency, 0.0125)
+        assert latency.measured_milliseconds == pytest.approx(12.5)
+        row = latency.row()
+        assert row["measured_ms"] == pytest.approx(12.5)
+        assert row["modeled_ms"] == pytest.approx(latency.total_milliseconds, rel=1e-3)
+
 
 class TestEnergy:
     def test_energy_components_positive(self, tiny_profile):

@@ -122,3 +122,14 @@ class TestCLI:
     def test_unknown_framework_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             cli_main(["prune", "--framework", "does-not-exist"])
+
+    def test_engine_command(self, capsys):
+        code = cli_main(["engine", "--model", "tiny", "--framework", "rtoss-2ep",
+                         "--image-size", "64", "--batch", "1", "--repeats", "1",
+                         "--plans"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured on host CPU" in out
+        assert "Compiled layer plans" in out
+        assert "measured_ms" in out      # the latency-model "measured" column
+        assert "OK" in out
