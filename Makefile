@@ -1,6 +1,8 @@
 # Developer entry points for the R-TOSS reproduction.
 #
 #   make test        tier-1 test suite (the roadmap verify command)
+#   make smoke       end-to-end pipeline run from the example RunSpec
+#                    (prune → quantize → compile → evaluate + artifact reload)
 #   make bench       paper figures/tables + measured engine speedups
 #   make docs-check  docs hygiene: README exists, docs/ exists, and every
 #                    src/repro/* package is mentioned in the README module map
@@ -9,10 +11,15 @@ PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench docs-check
+SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
+
+.PHONY: test smoke bench docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/smoke.npz
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -21,6 +28,7 @@ docs-check:
 	@test -f README.md || { echo "docs-check: README.md is missing"; exit 1; }
 	@test -f docs/architecture.md || { echo "docs-check: docs/architecture.md is missing"; exit 1; }
 	@test -f docs/engine.md || { echo "docs-check: docs/engine.md is missing"; exit 1; }
+	@test -f docs/pipeline.md || { echo "docs-check: docs/pipeline.md is missing"; exit 1; }
 	@missing=0; \
 	for pkg in src/repro/*/; do \
 		name=$$(basename $$pkg); \

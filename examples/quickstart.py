@@ -1,80 +1,71 @@
-"""Quickstart: prune YOLOv5s with R-TOSS and look at what changed.
+"""Quickstart: the unified deployment pipeline on YOLOv5s.
 
 Run with:  python examples/quickstart.py
 
-This is the 2-minute tour of the library:
-  1. build the YOLOv5s detector (the paper's primary model),
-  2. prune it with R-TOSS-2EP (the highest-sparsity variant),
-  3. print the per-layer pruning report, the compression ratio, and the estimated
-     latency/energy improvement on the Jetson TX2,
-  4. compile the pruned model with the pattern-aware execution engine and measure
-     a real (wall-clock) dense-vs-compiled speedup on this machine.
+This is the 2-minute tour of the library's canonical API (`repro.pipeline`):
+  1. describe the whole run declaratively with a RunSpec — which model, which
+     pruning framework, whether to quantize, how to compile and evaluate,
+  2. execute it: prune (Algorithms 1-3) → quantize → compile with the
+     pattern-aware execution engine → evaluate (modeled Jetson TX2 latency and
+     energy plus a measured host-CPU speedup),
+  3. save the result as a single deployable artifact file and load it back —
+     the reloaded model is recompiled and produces identical outputs.
+
+The same spec, saved as JSON, runs from the command line:
+    python -m repro.cli run --spec examples/specs/tiny_rtoss3ep.json
 """
 
 import numpy as np
 
-from repro.core import RTOSSConfig, RTOSSPruner
-from repro.engine import measure_speedup
-from repro.hardware import (
-    JETSON_TX2,
-    SparsityProfile,
-    estimate_energy,
-    estimate_latency,
-    estimate_model_size,
-    profile_model,
-)
-from repro.models import yolov5s
-from repro.nn import Tensor
+from repro.engine import max_abs_output_diff
+from repro.pipeline import DeployableArtifact, Pipeline, RunSpec
 
 
 def main() -> None:
-    # 1. Build the detector (randomly initialised — pruning decisions depend on the
-    #    weight tensors and the architecture, not on trained values).
-    model = yolov5s(num_classes=3)
-    print(f"YOLOv5s built: {model.num_parameters() / 1e6:.2f} M parameters")
+    # 1. One declarative spec for the whole deployment flow.  Everything is a
+    #    plain value (the graph-tracing input is a *shape*, never a tensor), so
+    #    the spec round-trips to JSON: RunSpec.from_json(spec.to_json()).
+    spec = RunSpec.from_dict({
+        "name": "yolo_rtoss2ep",
+        "seed": 0,
+        "model": {"name": "yolov5s", "kwargs": {"num_classes": 3}},
+        "framework": {"name": "rtoss-2ep", "trace_size": 64},
+        "quantization": {"enabled": True, "bits": 8},
+        "engine": {"enabled": True, "measure": True, "image_size": 96,
+                   "batch": 2, "repeats": 3},
+        "evaluation": {"enabled": True, "image_size": 640, "probe_size": 64},
+    })
 
-    # Profile its dense cost at the paper's 640x640 resolution.
-    profile = profile_model(model, image_size=640, probe_size=64, model_name="yolov5s")
-    dense_latency = estimate_latency(profile, JETSON_TX2)
-    dense_energy = estimate_energy(profile, JETSON_TX2, latency=dense_latency)
-    print(f"dense Jetson TX2 latency: {dense_latency.total_seconds * 1e3:.0f} ms, "
-          f"energy {dense_energy.total_joules:.2f} J")
+    # 2. Execute: prune → quantize → compile → evaluate.
+    artifact = Pipeline.from_spec(spec).run()
 
-    # 2. Prune with R-TOSS-2EP.  The example input is only used to trace the
-    #    computational graph for the DFS layer grouping (Algorithm 1).
-    example_input = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
-    pruner = RTOSSPruner(RTOSSConfig(entries=2))
-    report = pruner.prune(model, example_input, model_name="yolov5s")
-
-    # 3. Inspect the outcome.
+    report = artifact.report
     print()
     print(report.to_table())
     print()
     print(f"compression ratio: {report.compression_ratio:.2f}x "
           f"(paper reports 4.4x for R-TOSS-2EP on YOLOv5s)")
     print(f"overall sparsity:  {report.overall_sparsity:.1%}")
+    print(f"quantized to {artifact.quantization_meta['bits']} bit, "
+          f"storage {artifact.quantization_meta['compression_ratio']:.1f}x smaller")
 
-    sparsity = SparsityProfile.from_report(report)
-    pruned_latency = estimate_latency(profile, JETSON_TX2, sparsity)
-    pruned_energy = estimate_energy(profile, JETSON_TX2, sparsity, pruned_latency)
-    size = estimate_model_size(profile, sparsity)
-    print(f"Jetson TX2 latency: {dense_latency.total_seconds * 1e3:.0f} ms -> "
-          f"{pruned_latency.total_seconds * 1e3:.0f} ms "
-          f"({dense_latency.total_seconds / pruned_latency.total_seconds:.2f}x speedup)")
-    print(f"Jetson TX2 energy:  {dense_energy.total_joules:.2f} J -> "
-          f"{pruned_energy.total_joules:.2f} J")
-    print(f"model size:         {size.dense_megabytes:.1f} MB -> "
-          f"{size.compressed_megabytes:.1f} MB")
+    metrics = artifact.metrics
+    print(f"Jetson TX2 (modeled): {metrics['latency_ms[Jetson TX2]']:.0f} ms, "
+          f"{metrics['speedup[Jetson TX2]']:.2f}x speedup, "
+          f"energy -{metrics['energy_reduction_%[Jetson TX2]']:.0f}%")
+    measurement = artifact.measurement
+    print(f"host CPU (measured):  dense {measurement['dense_ms']:.0f} ms -> "
+          f"compiled {measurement['compiled_ms']:.0f} ms "
+          f"({measurement['measured_speedup']:.2f}x, outputs match to "
+          f"{measurement['max_abs_diff']:.1e})")
+    print(f"stage timings (s): {artifact.timings}")
 
-    # 4. Measure, don't just model: compile the pruned model with the execution
-    #    engine and time dense vs compiled inference on this machine.  (Small
-    #    input — the point is the ratio, not the absolute milliseconds.)
-    measurement = measure_speedup(model, masks=report.masks, batch=2,
-                                  image_size=96, repeats=3, model_name="yolov5s")
-    print(f"measured on host:   dense {measurement.dense_seconds * 1e3:.0f} ms -> "
-          f"compiled {measurement.compiled_seconds * 1e3:.0f} ms "
-          f"({measurement.speedup:.2f}x, outputs match to "
-          f"{measurement.max_abs_diff:.1e})")
+    # 3. One portable file: pruned weights + masks + metadata + engine.
+    path = artifact.save("yolo_rtoss2ep.npz")
+    restored = DeployableArtifact.load(path)
+    batch = np.random.default_rng(0).standard_normal((1, 3, 64, 64)).astype(np.float32)
+    diff = max_abs_output_diff(restored.forward_raw(batch), artifact.forward_raw(batch))
+    print(f"artifact saved to {path}; reloaded outputs match to {diff:.1e}")
 
 
 if __name__ == "__main__":

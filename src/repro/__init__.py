@@ -11,7 +11,12 @@ Object Detection using Semi-Structured Pruning* (DAC 2023), including:
 * ``repro.hardware`` — analytic latency/energy/compression models of the paper's
   evaluation platforms (RTX 2080Ti, Jetson TX2),
 * ``repro.evaluation`` / ``repro.experiments`` — end-to-end evaluation and drivers
-  that regenerate every table and figure of the paper.
+  that regenerate every table and figure of the paper,
+* ``repro.pipeline`` — the unified deployment API: declarative ``RunSpec`` configs,
+  the staged ``Pipeline`` orchestrator (prune → quantize → compile → evaluate) and
+  single-file ``DeployableArtifact`` results (see docs/pipeline.md),
+* ``repro.pruning.registry`` — the decorator-based framework registry the pipeline,
+  CLI and comparison suite all resolve pruners through.
 """
 
 from repro.version import __version__

@@ -2,6 +2,9 @@
 
 Commands
 --------
+``run``       Execute a full deployment pipeline (prune → quantize → compile →
+              evaluate) from a JSON :class:`repro.pipeline.RunSpec`, print the
+              report and write a reloadable :class:`DeployableArtifact`.
 ``prune``     Build a model, prune it with a chosen framework, print the report and
               optionally save the pruned state dict.
 ``census``    Print the kernel-size census of a model (Section III motivation).
@@ -9,6 +12,12 @@ Commands
 ``engine``    Prune a model, compile it with the pattern-aware execution engine and
               print measured (wall-clock) vs modeled latency and speedup.
 ``models``    List the models available in the registry with their parameter counts.
+``frameworks``  List the pruning frameworks available in the registry.
+
+``prune``, ``compare`` and ``engine`` are thin wrappers over the same machinery
+the pipeline uses; ``--framework`` choices come from
+:mod:`repro.pruning.registry` and every command takes ``--seed`` for end-to-end
+reproducibility.
 """
 
 from __future__ import annotations
@@ -19,8 +28,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import RTOSSConfig
-from repro.core.rtoss import RTOSSPruner
 from repro.evaluation import (
     DetectorEvaluator,
     compare_frameworks,
@@ -31,40 +38,49 @@ from repro.evaluation import (
 from repro.evaluation.accuracy_proxy import BASELINE_MAP
 from repro.experiments.motivation import census_for_model
 from repro.models import available_models, build_model
-from repro.nn.tensor import Tensor
-from repro.pruning import (
-    FilterPruner,
-    MagnitudePruner,
-    NetworkSlimmingPruner,
-    NeuralPruner,
-    PatDNNPruner,
+from repro.pruning.registry import (
+    available_frameworks,
+    build_framework,
+    framework_accepts,
+    framework_entries,
+    framework_entry,
 )
+from repro.utils.rng import set_global_seed
 from repro.utils.serialization import save_state_dict
 
-FRAMEWORKS = {
-    "rtoss-2ep": lambda: RTOSSPruner(RTOSSConfig(entries=2)),
-    "rtoss-3ep": lambda: RTOSSPruner(RTOSSConfig(entries=3)),
-    "rtoss-4ep": lambda: RTOSSPruner(RTOSSConfig(entries=4)),
-    "rtoss-5ep": lambda: RTOSSPruner(RTOSSConfig(entries=5)),
-    "pd": lambda: PatDNNPruner(),
-    "nms": lambda: MagnitudePruner(0.6),
-    "ns": lambda: NetworkSlimmingPruner(0.4),
-    "pf": lambda: FilterPruner(0.4),
-    "np": lambda: NeuralPruner(),
-}
+# Deprecated: the framework-factory table now lives in repro.pruning.registry.
+# This mapping is kept so `from repro.cli import FRAMEWORKS` keeps working; use
+# `repro.pruning.registry.build_framework(name)` in new code.
+FRAMEWORKS = {name: (lambda name=name: build_framework(name))
+              for name in available_frameworks()}
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
+    framework_choices = available_frameworks()
+
+    run = sub.add_parser(
+        "run", help="execute a deployment pipeline from a JSON RunSpec")
+    run.add_argument("--spec", required=True, help="path to the RunSpec JSON file")
+    run.add_argument("--artifact", default=None,
+                     help="where to write the DeployableArtifact "
+                          "(default: the spec's artifact_path, else artifacts/<name>.npz)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's seed")
+    run.add_argument("--no-verify", action="store_true",
+                     help="skip the reload-equivalence check of the saved artifact")
+    run.add_argument("--per-layer", action="store_true",
+                     help="print the per-layer pruning table")
 
     prune = sub.add_parser("prune", help="prune a model and print the report")
     prune.add_argument("--model", default="yolov5s", help="registry model name")
-    prune.add_argument("--framework", default="rtoss-3ep", choices=sorted(FRAMEWORKS))
+    prune.add_argument("--framework", default="rtoss-3ep", choices=framework_choices)
     prune.add_argument("--classes", type=int, default=3)
     prune.add_argument("--trace-size", type=int, default=64,
                        help="input resolution used to trace the graph for Algorithm 1")
+    prune.add_argument("--seed", type=int, default=0, help="reproducibility seed")
     prune.add_argument("--save", default=None, help="path to save the pruned state dict")
     prune.add_argument("--per-layer", action="store_true", help="print the per-layer table")
 
@@ -74,22 +90,32 @@ def _build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="framework comparison (Figs. 4-7)")
     compare.add_argument("--model", default="yolov5s")
     compare.add_argument("--image-size", type=int, default=640)
+    compare.add_argument("--seed", type=int, default=0, help="reproducibility seed")
 
     engine = sub.add_parser(
         "engine", help="measured dense-vs-compiled inference speedup (repro.engine)")
     engine.add_argument("--model", default="tiny",
                         help="registry model name (tiny is fast; larger models take longer)")
-    engine.add_argument("--framework", default="rtoss-2ep", choices=sorted(FRAMEWORKS))
+    engine.add_argument("--framework", default="rtoss-2ep", choices=framework_choices)
     engine.add_argument("--classes", type=int, default=3)
     engine.add_argument("--image-size", type=int, default=96,
                         help="input resolution of the measured forward passes")
     engine.add_argument("--batch", type=int, default=4, help="measurement batch size")
     engine.add_argument("--repeats", type=int, default=5, help="timing repeats (median)")
+    engine.add_argument("--seed", type=int, default=0, help="reproducibility seed")
     engine.add_argument("--plans", action="store_true",
                         help="also print the per-layer compiled plan table")
 
     sub.add_parser("models", help="list available models")
+    sub.add_parser("frameworks", help="list available pruning frameworks")
     return parser
+
+
+def _build_pruner(framework: str, seed: int):
+    """Build a registry framework, threading the seed where the factory takes it."""
+    if framework_accepts(framework, "seed"):
+        return build_framework(framework, seed=seed)
+    return build_framework(framework)
 
 
 def _cmd_models() -> int:
@@ -102,6 +128,15 @@ def _cmd_models() -> int:
             continue
         rows.append({"model": name, "parameters (M)": round(model.num_parameters() / 1e6, 3)})
     print(format_table(rows, title="Registered models"))
+    return 0
+
+
+def _cmd_frameworks() -> int:
+    rows = [{"framework": entry.name, "label": entry.label,
+             "paper suite": "yes" if entry.paper_suite else "",
+             "description": entry.description}
+            for entry in framework_entries()]
+    print(format_table(rows, title="Registered pruning frameworks"))
     return 0
 
 
@@ -119,11 +154,71 @@ def _build_cli_model(args: argparse.Namespace):
     return build_model(args.model, num_classes=args.classes)
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.pipeline import DeployableArtifact, Pipeline, RunSpec
+
+    try:
+        spec = RunSpec.load(args.spec)
+    except (OSError, ValueError) as error:
+        print(f"error: could not load spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    # Fail fast on names the registries don't know (mirrors the argparse
+    # `choices` validation the flag-based commands get for free).
+    try:
+        framework_entry(spec.framework.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if spec.model.name.lower() not in available_models():
+        print(f"error: unknown model {spec.model.name!r}; "
+              f"available: {available_models()}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        spec.seed = args.seed
+    # Resolve the output path up front and clear spec.artifact_path so the
+    # pipeline doesn't also save (the artifact is written exactly once, below).
+    path = args.artifact or spec.artifact_path or f"artifacts/{spec.name}.npz"
+    spec.artifact_path = None
+
+    artifact = Pipeline.from_spec(spec).run()
+
+    if args.per_layer:
+        print(artifact.report.to_table())
+        print()
+    print(format_table([artifact.summary()],
+                       title=f"pipeline run '{spec.name}' "
+                             f"({spec.framework.name} on {spec.model.name})"))
+    if artifact.metrics:
+        print(format_table([artifact.metrics], title="Evaluation"))
+    if artifact.measurement:
+        print(format_table([artifact.measurement], title="Measured on host CPU"))
+    print(format_table([artifact.timings], title="Stage timings (s)"))
+
+    written = artifact.save(path)
+    print(f"deployable artifact written to {written}")
+
+    if not args.no_verify:
+        from repro.engine import max_abs_output_diff
+
+        restored = DeployableArtifact.load(written)
+        rng = np.random.default_rng(spec.seed)
+        shape = spec.framework.example_shape()
+        batch = rng.standard_normal(shape).astype(np.float32)
+        diff = max_abs_output_diff(restored.forward_raw(batch),
+                                   artifact.forward_raw(batch))
+        ok = diff < 1e-5
+        print(f"artifact reload equivalence (max abs diff): {diff:.2e} "
+              f"{'OK' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    return 0
+
+
 def _cmd_prune(args: argparse.Namespace) -> int:
+    set_global_seed(args.seed)
     model = _build_cli_model(args)
-    example = Tensor(np.zeros((1, 3, args.trace_size, args.trace_size), dtype=np.float32))
-    pruner = FRAMEWORKS[args.framework]()
-    report = pruner.prune(model, example, args.model)
+    pruner = _build_pruner(args.framework, args.seed)
+    report = pruner.prune(model, (1, 3, args.trace_size, args.trace_size), args.model)
     if args.per_layer:
         print(report.to_table())
     print(format_table([report.summary()], title=f"{args.framework} on {args.model}"))
@@ -153,14 +248,15 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if args.batch < 1:
         print("error: --batch must be at least 1", file=sys.stderr)
         return 2
+    set_global_seed(args.seed)
     model = _build_cli_model(args)
-    example = Tensor(np.zeros((1, 3, args.image_size, args.image_size), dtype=np.float32))
-    pruner = FRAMEWORKS[args.framework]()
-    report = pruner.prune(model, example, args.model)
+    pruner = _build_pruner(args.framework, args.seed)
+    report = pruner.prune(model, (1, 3, args.image_size, args.image_size), args.model)
 
     measurement = measure_speedup(
         model, masks=report.masks, repeats=args.repeats,
         batch=args.batch, image_size=args.image_size, model_name=args.model,
+        seed=args.seed,
     )
 
     # Modeled (analytical) latency for the same pruned model, with the measured
@@ -187,6 +283,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    set_global_seed(args.seed)
     baseline_map = BASELINE_MAP.get(args.model, 60.0)
     evaluator = DetectorEvaluator(lambda: build_model(args.model), args.model, baseline_map,
                                   image_size=args.image_size, probe_size=64)
@@ -204,8 +301,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "models":
         return _cmd_models()
+    if args.command == "frameworks":
+        return _cmd_frameworks()
     if args.command == "census":
         return _cmd_census(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "prune":
         return _cmd_prune(args)
     if args.command == "compare":

@@ -21,7 +21,7 @@ Pipeline:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,7 +34,11 @@ from repro.core.patterns import PatternLibrary, build_pattern_library
 from repro.core.report import PruningReport, build_layer_report
 from repro.nn.layers.conv import Conv2d
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, as_example_input
+
+#: Anything accepted where an example input is expected: a traced tensor, a plain
+#: numpy batch, or just the input *shape* (the zero tensor is built internally).
+ExampleInput = Union[Tensor, np.ndarray, Sequence[int], None]
 from repro.utils.logging import get_logger
 
 logger = get_logger("core.rtoss")
@@ -91,19 +95,21 @@ class RTOSSPruner:
             )
         return self._library
 
-    def group(self, model: Module, example_input: Optional[Tensor]) -> GroupingResult:
+    def group(self, model: Module, example_input: ExampleInput) -> GroupingResult:
         """Algorithm 1 (or the trivial per-layer grouping when disabled)."""
+        example_input = as_example_input(example_input)
         if self.config.use_dfs_grouping and example_input is not None:
             return group_model(model, example_input)
         return trivial_grouping(model)
 
     # ------------------------------------------------------------------ main entry
-    def prune(self, model: Module, example_input: Optional[Tensor] = None,
+    def prune(self, model: Module, example_input: ExampleInput = None,
               model_name: Optional[str] = None) -> PruningReport:
         """Prune ``model`` in place and return the report.
 
         ``example_input`` is required for DFS grouping (it is used to trace the
         computational graph); without it the pruner falls back to per-layer groups.
+        A shape tuple such as ``(1, 3, 64, 64)`` works anywhere a tensor does.
         """
         cfg = self.config
         grouping = self.group(model, example_input)
@@ -201,7 +207,7 @@ class RTOSSPruner:
 
 
 def prune_with_rtoss(model: Module, entries: int = 3,
-                     example_input: Optional[Tensor] = None,
+                     example_input: ExampleInput = None,
                      model_name: Optional[str] = None,
                      **config_overrides) -> PruningReport:
     """One-call convenience API: prune ``model`` with R-TOSS-``entries``EP."""

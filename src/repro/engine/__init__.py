@@ -24,7 +24,12 @@ Quick use::
     print(m.speedup, m.max_abs_diff)
 """
 
-from repro.engine.bench import EngineMeasurement, measure_speedup, time_callable
+from repro.engine.bench import (
+    EngineMeasurement,
+    max_abs_output_diff,
+    measure_speedup,
+    time_callable,
+)
 from repro.engine.compiler import CompiledModel, compile_model
 from repro.engine.plan import (
     ConvPlan,
@@ -45,6 +50,7 @@ __all__ = [
     "compile_model",
     "execute_plan",
     "layout_cache_stats",
+    "max_abs_output_diff",
     "measure_speedup",
     "reset_layout_cache_stats",
     "time_callable",

@@ -105,6 +105,7 @@ def measure_speedup(
     image_size: int = 96,
     batch: int = 4,
     seed: int = 0,
+    compiled: Optional[CompiledModel] = None,
 ) -> EngineMeasurement:
     """Measure dense vs compiled inference latency on the host CPU.
 
@@ -122,9 +123,12 @@ def measure_speedup(
         Timing protocol; the median of ``repeats`` runs is reported.
     batch_size:
         Runner batch size (defaults to the full input in one batch).
-
-    The engine is detached before returning, so the model leaves this function
-    exactly as dense-callable as it entered.
+    compiled:
+        An existing :class:`CompiledModel` of ``model`` to measure instead of
+        compiling a fresh one (saves a full plan build).  It is detached for
+        the dense measurements and left *attached* on return; without it a
+        temporary engine is compiled and detached before returning, so the
+        model leaves this function exactly as dense-callable as it entered.
     """
     if x is None:
         rng = np.random.default_rng(seed)
@@ -137,6 +141,13 @@ def measure_speedup(
     if masks is not None:
         masks.apply(model)
 
+    # The dense measurements below must not hit a compiled fast path.
+    owns_compiled = compiled is None
+    if compiled is not None:
+        if compiled.model is not model:
+            raise ValueError("`compiled` was built for a different model instance")
+        compiled.detach()
+
     # Status-quo dense path: taped autograd forward, exactly what callers ran
     # before the engine existed.
     dense_out = _to_numpy(model(Tensor(x)))
@@ -146,11 +157,14 @@ def measure_speedup(
     dense_runner = BatchRunner(model, batch_size=batch_size)
     dense_nograd_seconds = time_callable(lambda: dense_runner.run(x), repeats, warmup)
 
-    compiled = compile_model(model, masks, apply_masks=False)
+    if owns_compiled:
+        compiled = compile_model(model, masks, apply_masks=False)
+    else:
+        compiled.attach()
     try:
         runner = BatchRunner(compiled, batch_size=batch_size)
         compiled_out = runner.run(x)
-        max_abs_diff = _max_abs_diff(compiled_out, dense_out)
+        max_abs_diff = max_abs_output_diff(compiled_out, dense_out)
         compiled_seconds = time_callable(lambda: runner.run(x), repeats, warmup)
         measurement = EngineMeasurement(
             model_name=model_name or type(model).__name__,
@@ -166,12 +180,18 @@ def measure_speedup(
             total_columns=compiled.total_columns(),
         )
     finally:
-        compiled.detach()
+        if owns_compiled:
+            compiled.detach()
     return measurement
 
 
-def _max_abs_diff(compiled_out, dense_out) -> float:
-    """Max absolute difference over matching (possibly nested) outputs."""
+def max_abs_output_diff(compiled_out, dense_out) -> float:
+    """Max absolute difference over matching (possibly nested) outputs.
+
+    Handles single arrays, tuples/lists (multi-scale detector heads) and dicts;
+    mismatched structures yield NaN.  Used by the benchmark's equivalence check
+    and by the pipeline's artifact reload verification.
+    """
     if isinstance(dense_out, np.ndarray):
         if not isinstance(compiled_out, np.ndarray) or compiled_out.shape != dense_out.shape:
             return float("nan")
@@ -181,11 +201,11 @@ def _max_abs_diff(compiled_out, dense_out) -> float:
     if isinstance(dense_out, (tuple, list)):
         if not isinstance(compiled_out, (tuple, list)) or len(compiled_out) != len(dense_out):
             return float("nan")
-        diffs = [_max_abs_diff(c, d) for c, d in zip(compiled_out, dense_out)]
+        diffs = [max_abs_output_diff(c, d) for c, d in zip(compiled_out, dense_out)]
         return max(diffs) if diffs else 0.0
     if isinstance(dense_out, dict):
         if not isinstance(compiled_out, dict) or set(compiled_out) != set(dense_out):
             return float("nan")
-        diffs = [_max_abs_diff(compiled_out[key], dense_out[key]) for key in dense_out]
+        diffs = [max_abs_output_diff(compiled_out[key], dense_out[key]) for key in dense_out]
         return max(diffs) if diffs else 0.0
     return float("nan")

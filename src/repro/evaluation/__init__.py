@@ -13,7 +13,12 @@ from repro.evaluation.comparison import (
     normalised_metric,
     results_by_framework,
 )
-from repro.evaluation.evaluator import DetectorEvaluator, FrameworkResult
+from repro.evaluation.evaluator import (
+    DetectorEvaluator,
+    FrameworkResult,
+    snapshot_weight_energy,
+    weight_energy_retention,
+)
 from repro.evaluation.tables import format_bar_chart, format_comparison, format_table
 
 __all__ = [
@@ -21,5 +26,6 @@ __all__ = [
     "PAPER_FRAMEWORK_ORDER", "compare_frameworks", "default_framework_suite",
     "normalised_metric", "results_by_framework",
     "DetectorEvaluator", "FrameworkResult",
+    "snapshot_weight_energy", "weight_energy_retention",
     "format_bar_chart", "format_comparison", "format_table",
 ]

@@ -11,40 +11,28 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import RTOSSConfig
-from repro.core.rtoss import RTOSSPruner
 from repro.evaluation.evaluator import DetectorEvaluator, FrameworkResult
-from repro.pruning.channel_pruning import NetworkSlimmingPruner
-from repro.pruning.filter_pruning import FilterPruner
-from repro.pruning.magnitude import MagnitudePruner
-from repro.pruning.neural_pruning import NeuralPruner
-from repro.pruning.patdnn import PatDNNPruner
+from repro.pruning.registry import paper_suite, paper_suite_entries
 
 PrunerFactory = Callable[[], object]
 
-# Paper framework labels, in the order they appear in Figs. 4-7.
+# Paper framework labels, in the order they appear in Figs. 4-7 (the baseline
+# model plus every registry entry flagged as part of the paper suite).
 PAPER_FRAMEWORK_ORDER: Tuple[str, ...] = (
-    "BM", "PD", "NMS", "NS", "PF", "NP", "R-TOSS-3EP", "R-TOSS-2EP",
+    "BM", *(entry.label for entry in paper_suite_entries()),
 )
 
 
 def default_framework_suite(dense_layer_names: Tuple[str, ...] = ()) -> Dict[str, PrunerFactory]:
     """Pruner factories for every compared framework at its default operating point.
 
-    ``dense_layer_names`` is forwarded to the R-TOSS variants (used by the RetinaNet
-    experiments to reproduce the paper's eligible-weight fraction).
+    Thin wrapper over :func:`repro.pruning.registry.paper_suite`, kept for
+    backward compatibility — the framework table itself lives in the registry.
+    ``dense_layer_names`` is forwarded to the frameworks that support it (the
+    R-TOSS variants; used by the RetinaNet experiments to reproduce the paper's
+    eligible-weight fraction).
     """
-    return {
-        "PD": lambda: PatDNNPruner(entries=4, connectivity_ratio=0.30),
-        "NMS": lambda: MagnitudePruner(sparsity=0.60),
-        "NS": lambda: NetworkSlimmingPruner(channel_ratio=0.40),
-        "PF": lambda: FilterPruner(ratio=0.40),
-        "NP": lambda: NeuralPruner(filter_ratio=0.25, weight_sparsity=0.30),
-        "R-TOSS-3EP": lambda: RTOSSPruner(RTOSSConfig(entries=3,
-                                                      dense_layer_names=dense_layer_names)),
-        "R-TOSS-2EP": lambda: RTOSSPruner(RTOSSConfig(entries=2,
-                                                      dense_layer_names=dense_layer_names)),
-    }
+    return paper_suite(dense_layer_names)
 
 
 def compare_frameworks(

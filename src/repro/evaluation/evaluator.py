@@ -30,6 +30,40 @@ from repro.nn.tensor import Tensor
 ModelFactory = Callable[[], Module]
 
 
+def snapshot_weight_energy(model: Module) -> Dict[str, float]:
+    """Per-parameter L2 energy of a model's weights (taken *before* pruning)."""
+    return {
+        name: float((param.data.astype(np.float64) ** 2).sum())
+        for name, param in model.named_parameters()
+    }
+
+
+def weight_energy_retention(model: Module, pre_energy: Dict[str, float],
+                            report: PruningReport) -> float:
+    """Fraction of weight L2 energy kept by the pruning masks.
+
+    ``pre_energy`` is the :func:`snapshot_weight_energy` of the same model taken
+    before pruning; the retention feeds the accuracy estimator
+    (:func:`repro.evaluation.accuracy_proxy.estimate_pruned_map`).
+    """
+    modules = dict(model.named_modules())
+    kept = 0.0
+    total = 0.0
+    for mask in report.masks:
+        module = modules.get(mask.layer_name)
+        if module is None:
+            continue
+        param = getattr(module, mask.parameter_name, None)
+        if param is None:
+            continue
+        full_name = f"{mask.layer_name}.{mask.parameter_name}"
+        total += pre_energy.get(full_name, 0.0)
+        kept += float((param.data.astype(np.float64) ** 2).sum())
+    if total <= 0:
+        return 1.0
+    return float(np.clip(kept / total, 0.0, 1.0))
+
+
 @dataclass
 class FrameworkResult:
     """Evaluation outcome for one pruning framework on one model."""
@@ -167,10 +201,7 @@ class DetectorEvaluator:
 
         model = self.model_factory()
         # Snapshot the weight energy before pruning so information retention is exact.
-        pre_energy = {
-            name: float((param.data.astype(np.float64) ** 2).sum())
-            for name, param in model.named_parameters()
-        }
+        pre_energy = snapshot_weight_energy(model)
         report: PruningReport = pruner.prune(model, self.example_input(), self.model_key)
         if framework_name:
             report.framework = framework_name
@@ -230,20 +261,5 @@ class DetectorEvaluator:
     @staticmethod
     def _energy_retention(model: Module, pre_energy: Dict[str, float],
                           report: PruningReport) -> float:
-        """Fraction of weight L2 energy kept by the pruning masks."""
-        modules = dict(model.named_modules())
-        kept = 0.0
-        total = 0.0
-        for mask in report.masks:
-            module = modules.get(mask.layer_name)
-            if module is None:
-                continue
-            param = getattr(module, mask.parameter_name, None)
-            if param is None:
-                continue
-            full_name = f"{mask.layer_name}.{mask.parameter_name}"
-            total += pre_energy.get(full_name, 0.0)
-            kept += float((param.data.astype(np.float64) ** 2).sum())
-        if total <= 0:
-            return 1.0
-        return float(np.clip(kept / total, 0.0, 1.0))
+        """Backward-compatible alias of :func:`weight_energy_retention`."""
+        return weight_energy_retention(model, pre_energy, report)

@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.evaluation.accuracy_proxy import baseline_map_for
-from repro.evaluation.comparison import compare_frameworks, default_framework_suite
+from repro.evaluation.comparison import compare_frameworks
 from repro.evaluation.evaluator import DetectorEvaluator, FrameworkResult
 from repro.experiments.table3 import RETINANET_DENSE_LAYERS
 from repro.models import retinanet_resnet50, yolov5s
+from repro.pruning.registry import paper_suite
 
 _CACHE: Dict[Tuple[str, int], List[FrameworkResult]] = {}
 
@@ -31,12 +32,12 @@ def comparison_results(model_key: str = "yolov5s", image_size: int = 640,
         evaluator = DetectorEvaluator(lambda: yolov5s(), "yolov5s",
                                       baseline_map_for("yolov5s"),
                                       image_size=image_size, probe_size=probe_size)
-        suite = default_framework_suite()
+        suite = paper_suite()
     elif model_key == "retinanet":
         evaluator = DetectorEvaluator(lambda: retinanet_resnet50(), "retinanet",
                                       baseline_map_for("retinanet"),
                                       image_size=image_size, probe_size=probe_size)
-        suite = default_framework_suite(dense_layer_names=RETINANET_DENSE_LAYERS)
+        suite = paper_suite(dense_layer_names=RETINANET_DENSE_LAYERS)
     else:
         raise KeyError(f"comparison suite covers 'yolov5s' and 'retinanet', not {model_key!r}")
 

@@ -13,8 +13,10 @@ from repro.evaluation.comparison import normalised_metric, results_by_framework
 from repro.evaluation.evaluator import FrameworkResult
 from repro.experiments.comparison_suite import comparison_results
 from repro.hardware.platform import JETSON_TX2, RTX_2080TI
+from repro.pruning.registry import paper_suite_entries
 
-FRAMEWORKS_COMPARED = ("PD", "NMS", "NS", "PF", "NP", "R-TOSS-3EP", "R-TOSS-2EP")
+#: Paper labels of the compared frameworks, from the framework registry.
+FRAMEWORKS_COMPARED = tuple(entry.label for entry in paper_suite_entries())
 
 
 # --------------------------------------------------------------------------- Fig. 4

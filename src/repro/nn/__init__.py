@@ -41,12 +41,14 @@ from repro.nn.layers import (
 )
 from repro.nn.module import Identity, Module, ModuleList, Parameter, Sequential
 from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR, WarmupCosineLR
-from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
+from repro.nn.tensor import (Tensor, as_example_input, as_tensor, is_grad_enabled,
+                             no_grad, ones, randn, zeros)
 
 __all__ = [
     "functional", "init", "losses",
     "ModelGraph", "trace",
-    "Tensor", "as_tensor", "is_grad_enabled", "no_grad", "ones", "randn", "zeros",
+    "Tensor", "as_example_input", "as_tensor", "is_grad_enabled", "no_grad", "ones",
+    "randn", "zeros",
     "Identity", "Module", "ModuleList", "Parameter", "Sequential",
     "SGD", "Adam", "CosineAnnealingLR", "StepLR", "WarmupCosineLR",
     "GELU", "Add", "AdaptiveAvgPool2d", "AvgPool2d", "BatchNorm2d", "Concat", "Conv2d",

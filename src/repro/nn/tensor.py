@@ -389,6 +389,32 @@ def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> T
     return Tensor(value, requires_grad=requires_grad)
 
 
+def as_example_input(value: Union[Tensor, ArrayLike, Sequence[int], None]) -> Optional[Tensor]:
+    """Coerce an example input to a :class:`Tensor`, accepting plain shapes.
+
+    Graph tracing (Algorithm 1) only needs an input of the right *shape*, so every
+    API that takes an ``example_input`` also accepts a shape tuple such as
+    ``(1, 3, 64, 64)`` — the zero tensor is built here.  This keeps declarative
+    configurations (``repro.pipeline.RunSpec``) JSON-serializable: a spec stores
+    the shape, never a tensor.
+
+    ``None`` passes through (callers fall back to trivial per-layer grouping);
+    tensors and numpy arrays are used as-is.
+    """
+    if value is None or isinstance(value, Tensor):
+        return value
+    if isinstance(value, np.ndarray):
+        return Tensor(np.asarray(value, dtype=np.float32))
+    if isinstance(value, (tuple, list)):
+        if not value or not all(isinstance(dim, (int, np.integer)) for dim in value):
+            raise TypeError(
+                f"example-input shape must be a non-empty sequence of ints, got {value!r}")
+        return zeros(tuple(int(dim) for dim in value))
+    raise TypeError(
+        f"example input must be a Tensor, ndarray, shape sequence or None, "
+        f"got {type(value).__name__}")
+
+
 def zeros(shape: Sequence[int], requires_grad: bool = False) -> Tensor:
     return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
 

@@ -1,0 +1,121 @@
+"""The Pipeline orchestrator: run a :class:`RunSpec` end to end.
+
+This is the canonical public entry point of the library — one object that
+executes the paper's whole deployment flow (prune → finetune-hook → quantize →
+compile → evaluate) and returns a saveable
+:class:`~repro.pipeline.artifact.DeployableArtifact`::
+
+    from repro.pipeline import Pipeline, RunSpec
+
+    spec = RunSpec.load("examples/specs/tiny_rtoss3ep.json")
+    artifact = Pipeline.from_spec(spec).run()
+    print(artifact.summary())
+    artifact.save("tiny_rtoss3ep.npz")
+
+The orchestrator is deliberately dumb: it builds the model, seeds the run, then
+walks the stage list, timing each stage.  All behaviour lives in the stages
+(:mod:`repro.pipeline.stages`), so extending the flow never means touching this
+class.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.pipeline.artifact import DeployableArtifact
+from repro.pipeline.spec import RunSpec
+from repro.pipeline.stages import PipelineContext, Stage, default_stages
+from repro.utils.logging import get_logger
+from repro.utils.rng import set_global_seed
+
+logger = get_logger("pipeline")
+
+FinetuneHook = Callable[[PipelineContext], None]
+
+
+class Pipeline:
+    """Executes the staged deployment flow described by a :class:`RunSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The declarative run description (or a path to its JSON file via
+        :meth:`from_spec`).
+    stages:
+        The stage list; defaults to :func:`repro.pipeline.stages.default_stages`.
+        Any object implementing the :class:`~repro.pipeline.stages.Stage`
+        protocol participates — order is execution order.
+    finetune:
+        Optional hook ``fn(context) -> None`` invoked by the finetune stage
+        between pruning and quantization (masks are re-applied afterwards).
+    model_factory:
+        Override for the model builder; defaults to resolving
+        ``spec.model.name`` through :mod:`repro.models.registry`.  Useful to
+        deploy an already *trained* model: pass a factory returning it.
+    """
+
+    def __init__(self, spec: RunSpec, stages: Optional[Iterable[Stage]] = None,
+                 finetune: Optional[FinetuneHook] = None,
+                 model_factory: Optional[Callable[[], Module]] = None) -> None:
+        self.spec = spec
+        self.stages: List[Stage] = list(stages) if stages is not None else default_stages()
+        self.finetune = finetune
+        self.model_factory = model_factory or (
+            lambda: build_model(spec.model.name, **spec.model.kwargs))
+
+    @classmethod
+    def from_spec(cls, spec: Union[RunSpec, str], **kwargs) -> "Pipeline":
+        """Build a pipeline from a :class:`RunSpec` or a path to a spec JSON file."""
+        if isinstance(spec, str):
+            spec = RunSpec.load(spec)
+        return cls(spec, **kwargs)
+
+    # ------------------------------------------------------------------ execution
+    def run(self) -> DeployableArtifact:
+        """Execute every applicable stage and return the deployable artifact."""
+        spec = self.spec
+        set_global_seed(spec.seed)
+        context = PipelineContext(spec=spec, model_factory=self.model_factory,
+                                  finetune=self.finetune)
+        context.model = self.model_factory()
+
+        for stage in self.stages:
+            if not stage.should_run(context):
+                continue
+            started = time.perf_counter()
+            stage.run(context)
+            elapsed = time.perf_counter() - started
+            context.timings[stage.name] = round(elapsed, 4)
+            logger.info("stage %-10s done in %.2fs", stage.name, elapsed)
+
+        report = context.report
+        if report is None:
+            # No prune stage ran (custom stage list): the artifact still works,
+            # just with an empty mask set and a "dense" report.
+            from repro.core.report import PruningReport
+
+            report = PruningReport(framework="dense", model_name=spec.model.name,
+                                   total_parameters=context.model.num_parameters())
+        artifact = DeployableArtifact(
+            spec=spec,
+            model=context.model,
+            report=report,
+            quantization_meta=context.quantization_meta,
+            compiled=context.compiled,
+            measurement=(context.measurement.row()
+                         if context.measurement is not None else None),
+            metrics=context.metrics,
+            timings=context.timings,
+        )
+        if spec.artifact_path:
+            path = artifact.save(spec.artifact_path)
+            logger.info("artifact written to %s", path)
+        return artifact
+
+
+def run_spec(spec: Union[RunSpec, str], **kwargs) -> DeployableArtifact:
+    """One-call convenience: ``Pipeline.from_spec(spec, **kwargs).run()``."""
+    return Pipeline.from_spec(spec, **kwargs).run()

@@ -1,0 +1,248 @@
+"""Declarative run specifications: the serializable input of the pipeline.
+
+A :class:`RunSpec` describes one end-to-end deployment run — which model to
+build, which pruning framework to apply, whether to quantize, whether to
+compile/measure with the execution engine, and how to evaluate — as a tree of
+plain dataclasses that round-trips losslessly to/from dicts and JSON files::
+
+    spec = RunSpec.from_json_file("examples/specs/tiny_rtoss3ep.json")
+    spec.to_dict() == RunSpec.from_dict(spec.to_dict()).to_dict()   # True
+
+Unknown keys are rejected (with the offending section and key named) so a typo
+in a spec file fails loudly instead of silently running defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Type, TypeVar
+
+SpecT = TypeVar("SpecT", bound="_SpecNode")
+
+
+class _SpecNode:
+    """Shared dict/JSON plumbing for every spec dataclass."""
+
+    @classmethod
+    def from_dict(cls: Type[SpecT], data: Optional[Dict[str, Any]]) -> SpecT:
+        """Build a spec from a plain dict, rejecting unknown keys."""
+        if data is not None and not isinstance(data, dict):
+            raise ValueError(f"{cls.__name__}: expected a mapping, "
+                             f"got {type(data).__name__} ({data!r})")
+        data = dict(data or {})
+        allowed = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - set(allowed))
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__}: unknown key(s) {unknown}; "
+                f"allowed keys: {sorted(allowed)}")
+        kwargs: Dict[str, Any] = {}
+        for name, spec_field in allowed.items():
+            if name not in data:
+                continue
+            value = data[name]
+            node_type = _spec_node_type(spec_field)
+            if node_type is not None:
+                value = node_type.from_dict(value)
+            kwargs[name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            # Wrong-typed values (e.g. "trace_size": "64") surface as TypeError
+            # from __post_init__ comparisons; keep the ValueError contract.
+            raise ValueError(f"{cls.__name__}: invalid value ({error})") from error
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (tuples become lists, nested specs become dicts)."""
+        out: Dict[str, Any] = {}
+        for spec_field in dataclasses.fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, _SpecNode):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[spec_field.name] = value
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls: Type[SpecT], text: str) -> SpecT:
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> str:
+        """Write the spec as JSON to ``path`` (returns the path)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_json_file(cls: Type[SpecT], path: str) -> SpecT:
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def _str_tuple(value: Any, owner: str, field_name: str) -> Tuple[str, ...]:
+    """Coerce a list of strings to a tuple, rejecting a bare string.
+
+    ``tuple("head")`` would silently become ``('h', 'e', 'a', 'd')`` and match
+    almost every layer name as a substring — fail loudly instead.
+    """
+    if isinstance(value, str):
+        raise ValueError(f"{owner}.{field_name} must be a list of strings, "
+                         f"got the string {value!r} (did you mean [{value!r}]?)")
+    try:
+        items = tuple(value)
+    except TypeError:
+        raise ValueError(f"{owner}.{field_name} must be a list of strings, "
+                         f"got {value!r}") from None
+    if not all(isinstance(item, str) for item in items):
+        raise ValueError(f"{owner}.{field_name} must contain only strings, got {items!r}")
+    return items
+
+
+def _spec_node_type(spec_field: dataclasses.Field) -> Optional[Type["_SpecNode"]]:
+    """The _SpecNode subclass of a dataclass field, if it holds a nested spec."""
+    field_type = spec_field.type
+    if isinstance(field_type, type) and issubclass(field_type, _SpecNode):
+        return field_type
+    # Under ``from __future__ import annotations`` field types are strings.
+    if isinstance(field_type, str):
+        candidate = globals().get(field_type)
+        if isinstance(candidate, type) and issubclass(candidate, _SpecNode):
+            return candidate
+    return None
+
+
+# ----------------------------------------------------------------------- sections
+@dataclass
+class ModelSpec(_SpecNode):
+    """Which detector to build (resolved through :mod:`repro.models.registry`)."""
+
+    #: Registry model name ('tiny', 'yolov5s', 'retinanet', ...).
+    name: str = "tiny"
+    #: Keyword arguments forwarded to the model factory (e.g. num_classes).
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ModelSpec.name must be a non-empty model name")
+        self.kwargs = dict(self.kwargs)
+
+
+@dataclass
+class FrameworkSpec(_SpecNode):
+    """Which pruning framework to apply (resolved through the framework registry)."""
+
+    #: Registry framework name or paper label ('rtoss-3ep', 'R-TOSS-3EP', 'nms', ...).
+    name: str = "rtoss-3ep"
+    #: Keyword overrides forwarded to the framework factory.
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Input resolution used to trace the graph for DFS grouping (Algorithm 1).
+    trace_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FrameworkSpec.name must be a non-empty framework name")
+        if self.trace_size < 32:
+            raise ValueError(
+                f"FrameworkSpec.trace_size must be >= 32 (detector strides need it), "
+                f"got {self.trace_size}")
+        self.overrides = dict(self.overrides)
+
+    def example_shape(self) -> Tuple[int, int, int, int]:
+        """Shape of the zero tensor used to trace the model."""
+        return (1, 3, int(self.trace_size), int(self.trace_size))
+
+
+@dataclass
+class QuantizationSpec(_SpecNode):
+    """Optional post-training quantization after pruning."""
+
+    enabled: bool = False
+    #: Bit width of the symmetric per-channel quantization (4, 8 or 16).
+    bits: int = 8
+    #: Layer-name substrings excluded from quantization.
+    skip_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bits not in (4, 8, 16):
+            raise ValueError(f"QuantizationSpec.bits must be 4, 8 or 16, got {self.bits}")
+        self.skip_names = _str_tuple(self.skip_names, "QuantizationSpec", "skip_names")
+
+
+@dataclass
+class EngineSpec(_SpecNode):
+    """Compilation (and optional wall-clock measurement) with the execution engine."""
+
+    enabled: bool = True
+    #: Also time dense vs compiled inference on the host CPU.
+    measure: bool = False
+    #: Input resolution of the measured forward passes.
+    image_size: int = 64
+    #: Measurement batch size.
+    batch: int = 2
+    #: Timing repeats (the median is reported).
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.image_size < 32:
+            raise ValueError(
+                f"EngineSpec.image_size must be >= 32, got {self.image_size}")
+        if self.batch < 1 or self.repeats < 1:
+            raise ValueError("EngineSpec.batch and EngineSpec.repeats must be >= 1")
+
+
+@dataclass
+class EvaluationSpec(_SpecNode):
+    """Analytic evaluation (latency/energy/size models + accuracy estimate)."""
+
+    enabled: bool = True
+    #: Input resolution the latency/energy models evaluate at (paper: 640).
+    image_size: int = 64
+    #: Resolution of the cost-model probe forward pass.
+    probe_size: int = 64
+    #: Baseline mAP anchor; None looks the model up in BASELINE_MAP (60.0 fallback).
+    baseline_map: Optional[float] = None
+    #: Platform keys or display names understood by repro.hardware.get_platform.
+    platforms: Tuple[str, ...] = ("rtx_2080ti", "jetson_tx2")
+
+    def __post_init__(self) -> None:
+        if self.image_size < 32 or self.probe_size < 32:
+            raise ValueError("EvaluationSpec image_size/probe_size must be >= 32")
+        self.platforms = _str_tuple(self.platforms, "EvaluationSpec", "platforms")
+
+
+@dataclass
+class RunSpec(_SpecNode):
+    """One end-to-end deployment run: prune → (finetune) → quantize → compile → evaluate."""
+
+    #: Display name of the run; also the default artifact stem.
+    name: str = "run"
+    #: Master seed threaded through utils.rng, the pruning config and the engine
+    #: benchmark so the whole run is reproducible end to end.
+    seed: int = 0
+    model: ModelSpec = field(default_factory=ModelSpec)
+    framework: FrameworkSpec = field(default_factory=FrameworkSpec)
+    quantization: QuantizationSpec = field(default_factory=QuantizationSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    #: Where Pipeline.run() saves the DeployableArtifact; None skips saving
+    #: unless the caller (e.g. the CLI) chooses a path.
+    artifact_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("RunSpec.name must be non-empty")
+        self.seed = int(self.seed)
+
+    @classmethod
+    def load(cls, path: str) -> "RunSpec":
+        """Alias of :meth:`from_json_file` (the CLI's ``run --spec`` entry point)."""
+        return cls.from_json_file(path)

@@ -8,6 +8,17 @@ from repro.pruning.gradient import GradientMagnitudePruner
 from repro.pruning.magnitude import MagnitudePruner
 from repro.pruning.neural_pruning import NeuralPruner
 from repro.pruning.patdnn import PatDNNPruner
+from repro.pruning.registry import (
+    FrameworkEntry,
+    available_frameworks,
+    build_framework,
+    framework_accepts,
+    framework_entries,
+    framework_entry,
+    paper_suite,
+    paper_suite_entries,
+    register_framework,
+)
 from repro.pruning.schedule import (
     IterationRecord,
     IterativeSchedule,
@@ -24,6 +35,9 @@ __all__ = [
     "MagnitudePruner",
     "NeuralPruner",
     "PatDNNPruner",
+    "FrameworkEntry", "available_frameworks", "build_framework",
+    "framework_accepts", "framework_entries", "framework_entry",
+    "paper_suite", "paper_suite_entries", "register_framework",
     "IterationRecord", "IterativeSchedule", "run_iterative_pruning",
     "SynFlowPruner",
 ]

@@ -16,7 +16,7 @@ from repro.core.masks import MaskSet, PruningMask
 from repro.core.report import PruningReport, build_layer_report
 from repro.nn.layers.conv import Conv2d
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, as_example_input
 
 
 class Pruner:
@@ -25,9 +25,14 @@ class Pruner:
     #: Short label used in figures/tables (e.g. "PD", "NMS", "NS", "PF", "NP").
     name: str = "base"
 
-    def prune(self, model: Module, example_input: Optional[Tensor] = None,
+    def prune(self, model: Module, example_input=None,
               model_name: Optional[str] = None) -> PruningReport:
-        """Prune ``model`` in place.  Subclasses implement :meth:`compute_masks`."""
+        """Prune ``model`` in place.  Subclasses implement :meth:`compute_masks`.
+
+        ``example_input`` accepts a tensor, a numpy batch or a plain shape tuple
+        (see :func:`repro.nn.tensor.as_example_input`).
+        """
+        example_input = as_example_input(example_input)
         report = PruningReport(
             framework=self.name,
             model_name=model_name or type(model).__name__,

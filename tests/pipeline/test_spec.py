@@ -1,0 +1,125 @@
+"""RunSpec: declarative, serializable pipeline configuration."""
+
+import json
+
+import pytest
+
+from repro.pipeline.spec import (
+    EngineSpec,
+    EvaluationSpec,
+    FrameworkSpec,
+    ModelSpec,
+    QuantizationSpec,
+    RunSpec,
+)
+
+FULL_SPEC_DICT = {
+    "name": "full",
+    "seed": 11,
+    "model": {"name": "tiny", "kwargs": {"num_classes": 3, "base_channels": 8}},
+    "framework": {"name": "rtoss-2ep", "overrides": {"prune_pointwise": False},
+                  "trace_size": 96},
+    "quantization": {"enabled": True, "bits": 4, "skip_names": ["head"]},
+    "engine": {"enabled": True, "measure": True, "image_size": 96, "batch": 4,
+               "repeats": 2},
+    "evaluation": {"enabled": True, "image_size": 96, "probe_size": 64,
+                   "baseline_map": 55.5, "platforms": ["jetson_tx2"]},
+    "artifact_path": "artifacts/full.npz",
+}
+
+
+class TestDefaults:
+    def test_default_spec_is_valid(self):
+        spec = RunSpec()
+        assert spec.model.name == "tiny"
+        assert spec.framework.name == "rtoss-3ep"
+        assert not spec.quantization.enabled
+        assert spec.engine.enabled and spec.evaluation.enabled
+
+    def test_sections_default_when_missing_from_dict(self):
+        spec = RunSpec.from_dict({"name": "minimal"})
+        assert spec.name == "minimal"
+        assert spec.framework.trace_size == 64
+        assert spec.quantization.bits == 8
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        spec = RunSpec.from_dict(FULL_SPEC_DICT)
+        assert spec.to_dict() == RunSpec.from_dict(spec.to_dict()).to_dict()
+        assert spec.to_dict() == FULL_SPEC_DICT
+
+    def test_json_round_trip(self):
+        spec = RunSpec.from_dict(FULL_SPEC_DICT)
+        again = RunSpec.from_json(spec.to_json())
+        assert again.to_dict() == spec.to_dict()
+        # to_json emits plain JSON (lists, not tuples).
+        assert json.loads(spec.to_json())["quantization"]["skip_names"] == ["head"]
+
+    def test_file_round_trip(self, tmp_path):
+        spec = RunSpec.from_dict(FULL_SPEC_DICT)
+        path = spec.save(str(tmp_path / "spec.json"))
+        assert RunSpec.load(path).to_dict() == spec.to_dict()
+
+    def test_tuple_fields_coerced(self):
+        spec = RunSpec.from_dict(FULL_SPEC_DICT)
+        assert spec.quantization.skip_names == ("head",)
+        assert spec.evaluation.platforms == ("jetson_tx2",)
+
+
+class TestUnknownKeyRejection:
+    def test_top_level_unknown_key(self):
+        with pytest.raises(ValueError, match=r"RunSpec: unknown key\(s\) \['modle'\]"):
+            RunSpec.from_dict({"modle": {"name": "tiny"}})
+
+    def test_nested_unknown_key_names_section(self):
+        data = {"framework": {"name": "rtoss-3ep", "entriess": 3}}
+        with pytest.raises(ValueError, match=r"FrameworkSpec: unknown key\(s\) \['entriess'\]"):
+            RunSpec.from_dict(data)
+
+    def test_error_lists_allowed_keys(self):
+        with pytest.raises(ValueError, match="allowed keys"):
+            RunSpec.from_dict({"quantization": {"bitz": 8}})
+
+    def test_non_mapping_section_rejected(self):
+        with pytest.raises(ValueError, match="QuantizationSpec: expected a mapping"):
+            RunSpec.from_dict({"quantization": True})
+
+    def test_bare_string_for_list_field_rejected(self):
+        # tuple("head") would silently become ('h','e','a','d') substrings.
+        with pytest.raises(ValueError, match=r"skip_names must be a list"):
+            QuantizationSpec(skip_names="head")
+        with pytest.raises(ValueError, match=r"platforms must be a list"):
+            EvaluationSpec(platforms="jetson_tx2")
+
+    def test_wrong_typed_values_surface_as_value_error(self):
+        # The documented contract is ValueError for any malformed spec data.
+        with pytest.raises(ValueError, match="FrameworkSpec"):
+            RunSpec.from_dict({"framework": {"trace_size": "64"}})
+        with pytest.raises(ValueError, match="skip_names"):
+            RunSpec.from_dict({"quantization": {"skip_names": 5}})
+
+
+class TestValidation:
+    def test_bits_validated(self):
+        with pytest.raises(ValueError, match="bits"):
+            QuantizationSpec(bits=3)
+
+    def test_trace_size_validated(self):
+        with pytest.raises(ValueError, match="trace_size"):
+            FrameworkSpec(trace_size=8)
+
+    def test_engine_batch_validated(self):
+        with pytest.raises(ValueError, match="batch"):
+            EngineSpec(batch=0)
+
+    def test_evaluation_probe_validated(self):
+        with pytest.raises(ValueError):
+            EvaluationSpec(probe_size=8)
+
+    def test_empty_model_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ModelSpec(name="")
+
+    def test_example_shape(self):
+        assert FrameworkSpec(trace_size=96).example_shape() == (1, 3, 96, 96)
