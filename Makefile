@@ -3,6 +3,8 @@
 #   make test        tier-1 test suite (the roadmap verify command)
 #   make smoke       end-to-end pipeline run from the example RunSpec
 #                    (prune → quantize → compile → evaluate + artifact reload)
+#   make serve-smoke pipeline run + the artifact served under concurrent load
+#                    through repro.serving (equivalence check + latency report)
 #   make bench       paper figures/tables + measured engine speedups
 #   make docs-check  docs hygiene: README exists, docs/ exists, and every
 #                    src/repro/* package is mentioned in the README module map
@@ -13,13 +15,17 @@ export PYTHONPATH
 
 SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
 
-.PHONY: test smoke bench docs-check
+.PHONY: test smoke serve-smoke bench docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/smoke.npz
+
+serve-smoke:
+	$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
+	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --requests 32 --concurrency 4
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -29,6 +35,7 @@ docs-check:
 	@test -f docs/architecture.md || { echo "docs-check: docs/architecture.md is missing"; exit 1; }
 	@test -f docs/engine.md || { echo "docs-check: docs/engine.md is missing"; exit 1; }
 	@test -f docs/pipeline.md || { echo "docs-check: docs/pipeline.md is missing"; exit 1; }
+	@test -f docs/serving.md || { echo "docs-check: docs/serving.md is missing"; exit 1; }
 	@missing=0; \
 	for pkg in src/repro/*/; do \
 		name=$$(basename $$pkg); \

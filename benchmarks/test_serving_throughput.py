@@ -1,0 +1,126 @@
+"""Serving throughput — dynamic micro-batching vs sequential single-image calls.
+
+The engine benchmarks (test_engine_speedup.py) prove the compiled sparse path
+beats the dense path per batch; this benchmark proves the *serving layer*
+converts that into end-to-end throughput: a closed-loop client fleet pushed
+through :class:`repro.serving.InferenceService` must beat the same number of
+sequential single-image ``BatchRunner`` calls by at least 1.5x, with
+bit-equivalent outputs.  The measured numbers are written to
+``BENCH_serving.json`` next to this file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.rtoss import prune_with_rtoss
+from repro.engine import BatchRunner, compile_model, max_abs_output_diff
+from repro.evaluation.tables import format_table
+from repro.models.tiny import TinyDetector, TinyDetectorConfig
+from repro.nn.tensor import Tensor
+from repro.serving import BatchPolicy, InferenceService, closed_loop
+
+IMAGE_SIZE = 64
+REQUESTS = 96
+CONCURRENCY = 8
+MAX_BATCH = 8
+MAX_WAIT_MS = 5.0
+
+# Acceptance floor: batched service throughput vs sequential single-image calls.
+MIN_SERVING_SPEEDUP = 1.5
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+
+def _pruned_compiled():
+    model = TinyDetector(TinyDetectorConfig(num_classes=3, image_size=IMAGE_SIZE,
+                                            base_channels=16))
+    report = prune_with_rtoss(
+        model, entries=2,
+        example_input=Tensor(np.zeros((1, 3, IMAGE_SIZE, IMAGE_SIZE), dtype=np.float32)),
+        model_name="tiny",
+    )
+    return compile_model(model, report.masks)
+
+
+def _measure():
+    compiled = _pruned_compiled()
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal((REQUESTS, 3, IMAGE_SIZE, IMAGE_SIZE)).astype(np.float32)
+
+    # Sequential baseline: one image per call through the same compiled engine —
+    # the unbatched status quo a naive service loop would pay.
+    sequential_runner = BatchRunner(compiled, batch_size=1)
+    sequential_runner.run(images[:4])                      # warm layout caches
+    started = time.perf_counter()
+    sequential_out = sequential_runner.run(images)
+    sequential_seconds = time.perf_counter() - started
+    sequential_rps = REQUESTS / sequential_seconds
+
+    with InferenceService(compiled,
+                          policy=BatchPolicy(max_batch_size=MAX_BATCH,
+                                             max_wait_ms=MAX_WAIT_MS)) as service:
+        served_out = service.submit_many(images)           # also correctness check
+        load = closed_loop(service, images, requests=REQUESTS,
+                           concurrency=CONCURRENCY)
+        report = service.report()
+
+    max_diff = max_abs_output_diff(served_out, sequential_out)
+    return {
+        "sequential_rps": sequential_rps,
+        "service_rps": load.throughput_rps,
+        "speedup": load.throughput_rps / sequential_rps,
+        "max_abs_diff": float(max_diff),
+        "load": load.as_dict(),
+        "service": report,
+    }
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_throughput_beats_sequential(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    row = {
+        "requests": REQUESTS,
+        "concurrency": CONCURRENCY,
+        "sequential_rps": round(result["sequential_rps"], 1),
+        "service_rps": round(result["service_rps"], 1),
+        "speedup": round(result["speedup"], 2),
+        "p50_ms": result["load"]["latency"]["p50_ms"],
+        "p99_ms": result["load"]["latency"]["p99_ms"],
+        "mean_batch": result["service"]["batches"]["mean_size"],
+        "max_abs_diff": result["max_abs_diff"],
+    }
+    print()
+    print(format_table([row], title="Serving throughput, R-TOSS-2EP TinyDetector "
+                                    "(micro-batched service vs sequential calls)"))
+
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    # Correctness first: the service must reproduce sequential outputs exactly.
+    assert result["max_abs_diff"] < 1e-5
+    # Every load-generated request must have completed (closed loop, no drops).
+    assert result["load"]["completed"] == REQUESTS
+    # Acceptance criterion: batching recovers >= 1.5x over unbatched serving.
+    assert result["speedup"] >= MIN_SERVING_SPEEDUP, (
+        f"micro-batched service only {result['speedup']:.2f}x over sequential "
+        f"single-image calls (needs >= {MIN_SERVING_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_microbatches_actually_form(benchmark):
+    """Under concurrent closed-loop load the batcher must coalesce: mean
+    executed batch size meaningfully above 1 (else the speedup is luck)."""
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    mean_batch = result["service"]["batches"]["mean_size"]
+    assert mean_batch >= 2.0, (
+        f"mean micro-batch size {mean_batch} — dynamic batching is not coalescing"
+    )
+    histogram = result["service"]["batches"]["size_histogram"]
+    assert any(int(size) > 1 for size in histogram), histogram

@@ -67,6 +67,20 @@ def main() -> None:
     diff = max_abs_output_diff(restored.forward_raw(batch), artifact.forward_raw(batch))
     print(f"artifact saved to {path}; reloaded outputs match to {diff:.1e}")
 
+    # 4. Serve it: concurrent requests coalesced into micro-batches
+    #    (see docs/serving.md; `repro serve` does this from the CLI).
+    from repro.serving import BatchPolicy, InferenceService, closed_loop
+
+    images = np.random.default_rng(1).standard_normal((32, 3, 64, 64)).astype(np.float32)
+    with InferenceService(restored,
+                          policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0)) as service:
+        load = closed_loop(service, images, requests=32, concurrency=4)
+        batches = service.report()["batches"]
+    latency = load.latency.summary()
+    print(f"served 32 requests: {load.throughput_rps:.0f} req/s, "
+          f"p50 {latency['p50_ms']:.1f} ms / p99 {latency['p99_ms']:.1f} ms, "
+          f"mean micro-batch {batches['mean_size']:.1f}")
+
 
 if __name__ == "__main__":
     main()

@@ -11,6 +11,9 @@ Commands
 ``compare``   Run the framework comparison (Figs. 4-7) on a model and print the table.
 ``engine``    Prune a model, compile it with the pattern-aware execution engine and
               print measured (wall-clock) vs modeled latency and speedup.
+``serve``     Serve a DeployableArtifact through the dynamic micro-batching
+              inference service (:mod:`repro.serving`), drive it with synthetic
+              load and print a p50/p95/p99 latency + throughput report.
 ``models``    List the models available in the registry with their parameter counts.
 ``frameworks``  List the pruning frameworks available in the registry.
 
@@ -105,6 +108,33 @@ def _build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--seed", type=int, default=0, help="reproducibility seed")
     engine.add_argument("--plans", action="store_true",
                         help="also print the per-layer compiled plan table")
+
+    serve = sub.add_parser(
+        "serve", help="serve an artifact with dynamic micro-batching and report "
+                      "latency percentiles + throughput")
+    serve.add_argument("--artifact", required=True,
+                       help="path to a DeployableArtifact .npz (see `run`)")
+    serve.add_argument("--requests", type=int, default=None,
+                       help="total load-generation requests "
+                            "(default: the artifact spec's serve.requests)")
+    serve.add_argument("--concurrency", type=int, default=None,
+                       help="closed-loop client threads "
+                            "(default: the artifact spec's serve.concurrency)")
+    serve.add_argument("--max-batch-size", type=int, default=None,
+                       help="micro-batch size bound (default: spec's serve section)")
+    serve.add_argument("--max-wait-ms", type=float, default=None,
+                       help="micro-batch coalescing wait (default: spec's serve section)")
+    serve.add_argument("--queue-capacity", type=int, default=None,
+                       help="bounded admission queue (default: spec's serve section)")
+    serve.add_argument("--mode", choices=("closed", "open"), default="closed",
+                       help="closed-loop clients (throughput) or Poisson open loop")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="open-loop arrival rate in requests/s "
+                            "(default: 2x the measured closed-loop throughput hint, 200)")
+    serve.add_argument("--seed", type=int, default=0, help="reproducibility seed")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip the service-vs-sequential-BatchRunner "
+                            "output-equivalence check")
 
     sub.add_parser("models", help="list available models")
     sub.add_parser("frameworks", help="list available pruning frameworks")
@@ -282,6 +312,100 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import BatchRunner, max_abs_output_diff
+    from repro.pipeline import DeployableArtifact
+    from repro.serving import (
+        BatchPolicy,
+        InferenceService,
+        ModelPool,
+        closed_loop,
+        open_loop,
+    )
+
+    try:
+        artifact = DeployableArtifact.load(args.artifact)
+    except (OSError, ValueError) as error:
+        print(f"error: could not load artifact {args.artifact!r}: {error}",
+              file=sys.stderr)
+        return 2
+
+    # CLI flags override the serving defaults baked into the artifact's spec.
+    serve_spec = artifact.spec.serve
+    requests = args.requests if args.requests is not None else serve_spec.requests
+    concurrency = (args.concurrency if args.concurrency is not None
+                   else serve_spec.concurrency)
+    policy = BatchPolicy(
+        max_batch_size=(args.max_batch_size if args.max_batch_size is not None
+                        else serve_spec.max_batch_size),
+        max_wait_ms=(args.max_wait_ms if args.max_wait_ms is not None
+                     else serve_spec.max_wait_ms),
+        queue_capacity=(args.queue_capacity if args.queue_capacity is not None
+                        else serve_spec.queue_capacity),
+    )
+    if requests < 1 or concurrency < 1:
+        print("error: --requests and --concurrency must be at least 1", file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    shape = artifact.spec.framework.example_shape()
+    images = rng.standard_normal((requests, *shape[1:])).astype(np.float32)
+
+    if not args.no_verify:
+        # The batched concurrent service must produce exactly what a
+        # sequential single-image BatchRunner over the same inputs does.
+        # Run the check through a throwaway service so its traffic does not
+        # pollute the load-phase metrics reported below.
+        runnable = artifact.compiled if artifact.compiled is not None else artifact.model
+        sequential = BatchRunner(runnable, batch_size=1).run(images)
+        with InferenceService(artifact, policy=policy,
+                              warmup=serve_spec.warmup) as verify_service:
+            served = verify_service.submit_many(images)
+        diff = max_abs_output_diff(served, sequential)
+        ok = diff < 1e-5
+        print(f"service vs sequential BatchRunner (max abs diff): {diff:.2e} "
+              f"{'OK' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+
+    # Serve the already-loaded artifact object (no second load+recompile);
+    # the pool still enforces the spec's residency bound for any extra models.
+    pool = ModelPool(capacity=serve_spec.pool_capacity, warmup=serve_spec.warmup)
+    with InferenceService(artifact, policy=policy, pool=pool,
+                          warmup=serve_spec.warmup,
+                          name=artifact.spec.name) as service:
+        if args.mode == "closed":
+            load = closed_loop(service, images, requests=requests,
+                               concurrency=concurrency)
+        else:
+            rate = args.rate if args.rate is not None else 200.0
+            load = open_loop(service, images, requests=requests, rate_hz=rate,
+                             seed=args.seed)
+        report = service.report()
+
+    print()
+    print(format_table([load.flat_row()],
+                       title=f"repro serve — {args.mode}-loop load on "
+                             f"{artifact.spec.name} ({requests} requests, "
+                             f"batch<= {policy.max_batch_size}, "
+                             f"wait {policy.max_wait_ms}ms)"))
+    service_row = {
+        "throughput_rps": report["throughput_rps"],
+        **{k: v for k, v in report["latency"].items() if k != "count"},
+        "mean_batch": report["batches"]["mean_size"],
+        "max_queue_depth": report["queue"]["max_depth"],
+        "rejected": report["requests"]["rejected"],
+    }
+    print(format_table([service_row], title="Service-side metrics (incl. queueing)"))
+    histogram = report["batches"]["size_histogram"]
+    if histogram:
+        print(format_table([histogram], title="Micro-batch size distribution"))
+    if load.failed:
+        print(f"error: {load.failed} requests failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     set_global_seed(args.seed)
     baseline_map = BASELINE_MAP.get(args.model, 60.0)
@@ -313,6 +437,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

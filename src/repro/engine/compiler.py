@@ -64,6 +64,17 @@ class CompiledModel:
     The underlying model object is shared, not copied: weight updates between
     calls are picked up via :meth:`refresh`, and gradient-enabled calls on the
     raw model keep working while the engine is attached.
+
+    Thread-safety contract (relied on by :mod:`repro.serving`): once attached
+    and in eval mode, concurrent ``__call__`` / :class:`~repro.engine.runner.BatchRunner`
+    use from multiple threads is safe — plan execution only reads compiled
+    state, and the per-shape layout caches take a per-plan lock on miss
+    (:meth:`repro.engine.plan.ConvPlan.layout_for`).  The *lifecycle* methods
+    (:meth:`attach`, :meth:`detach`, :meth:`refresh`) are single-writer: they
+    rewire layer forwards and must not race concurrent inference.  Callers that
+    serve a model warm it with one forward pass first (which settles
+    ``attach()`` and ``eval()``), then fan out; see
+    :class:`repro.serving.pool.ModelPool`.
     """
 
     def __init__(self, model: Module, plans: Dict[str, ConvPlan],

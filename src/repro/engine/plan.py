@@ -33,6 +33,7 @@ always builds fresh plans.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -57,7 +58,14 @@ class LayoutCacheStats:
 
 
 #: Process-wide counters, aggregated over every plan (see :func:`layout_cache_stats`).
+#: Misses are counted exactly (under the miss-path lock); hit increments are
+#: deliberately lock-free — a hit happens once per conv layer per forward on
+#: the serving hot path, and a (vanishingly rare) lost increment on an
+#: observability counter is cheaper than serializing every thread on a global
+#: lock there.
 _GLOBAL_CACHE_STATS = LayoutCacheStats()
+#: Guards the global miss counter (the miss path already holds a per-plan lock).
+_STATS_LOCK = threading.Lock()
 
 
 def layout_cache_stats() -> LayoutCacheStats:
@@ -66,8 +74,9 @@ def layout_cache_stats() -> LayoutCacheStats:
 
 
 def reset_layout_cache_stats() -> None:
-    _GLOBAL_CACHE_STATS.hits = 0
-    _GLOBAL_CACHE_STATS.misses = 0
+    with _STATS_LOCK:
+        _GLOBAL_CACHE_STATS.hits = 0
+        _GLOBAL_CACHE_STATS.misses = 0
 
 
 @dataclass
@@ -112,6 +121,10 @@ class ConvPlan:
     # Kept input channels for the pointwise fast path; None means "all channels".
     pointwise_channels: Optional[np.ndarray] = None
     _layouts: Dict[Tuple[int, int, int], tuple] = field(default_factory=dict, repr=False)
+    # Guards layout computation/insertion so concurrent no-grad forward passes
+    # (the serving layer runs BatchRunner from several threads) build each
+    # layout exactly once; cache-hit reads stay lock-free.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     # ------------------------------------------------------------------ statistics
     @property
@@ -171,12 +184,27 @@ class ConvPlan:
 
     # ------------------------------------------------------------------ layout
     def layout_for(self, input_shape: Tuple[int, int, int]) -> tuple:
-        """Gather indices for one ``(C, H, W)`` input shape (cached per plan)."""
+        """Gather indices for one ``(C, H, W)`` input shape (cached per plan).
+
+        Thread-safe: concurrent callers on a shape miss serialize on the plan's
+        lock and the layout is computed exactly once.
+        """
         cached = self._layouts.get(input_shape)
         if cached is not None:
             _GLOBAL_CACHE_STATS.hits += 1
             return cached
-        _GLOBAL_CACHE_STATS.misses += 1
+        with self._lock:
+            cached = self._layouts.get(input_shape)
+            if cached is not None:
+                _GLOBAL_CACHE_STATS.hits += 1
+                return cached
+            layout = self._build_layout(input_shape)
+            self._layouts[input_shape] = layout
+        with _STATS_LOCK:
+            _GLOBAL_CACHE_STATS.misses += 1
+        return layout
+
+    def _build_layout(self, input_shape: Tuple[int, int, int]) -> tuple:
         _, h, w = input_shape
         kh, kw = self.kernel_size
         sh, sw = self.stride
@@ -193,9 +221,7 @@ class ConvPlan:
         rows = self.tap_rows[:, None] + oy[None, :]            # (K, L)
         cols = self.tap_cols[:, None] + ox[None, :]            # (K, L)
         chans = self.channel_index[:, None]                    # (K, 1)
-        layout = (chans, rows, cols, out_h, out_w)
-        self._layouts[input_shape] = layout
-        return layout
+        return (chans, rows, cols, out_h, out_w)
 
 
 def _kept_column_indices(layer: Conv2d) -> np.ndarray:

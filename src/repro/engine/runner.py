@@ -21,11 +21,17 @@ import numpy as np
 from repro.engine.compiler import CompiledModel
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
+from repro.utils.profiling import LatencyStats
 
 
 @dataclass
 class RunnerStats:
-    """Wall-clock statistics of one :meth:`BatchRunner.run` call."""
+    """Wall-clock statistics of one :meth:`BatchRunner.run` call.
+
+    The serving layer's :class:`repro.serving.batcher.DynamicBatcher` reuses
+    this class to account for its executed micro-batches, so engine and service
+    report throughput through the same numbers.
+    """
 
     batches: int = 0
     images: int = 0
@@ -34,11 +40,26 @@ class RunnerStats:
 
     @property
     def images_per_second(self) -> float:
-        return self.images / self.seconds if self.seconds > 0 else float("inf")
+        # A zero-duration (e.g. empty or unstarted) run has no meaningful
+        # throughput; report 0.0 rather than a propagating float("inf").
+        return self.images / self.seconds if self.seconds > 0 else 0.0
 
     @property
     def mean_batch_seconds(self) -> float:
         return self.seconds / self.batches if self.batches else 0.0
+
+    def record(self, batch_images: int, elapsed_seconds: float) -> None:
+        """Account one executed batch."""
+        self.batches += 1
+        self.images += int(batch_images)
+        self.seconds += float(elapsed_seconds)
+        self.batch_seconds.append(float(elapsed_seconds))
+
+    def batch_latency(self) -> LatencyStats:
+        """Per-batch wall-clock samples as a :class:`LatencyStats` (p50/p95/p99)."""
+        stats = LatencyStats()
+        stats.extend(self.batch_seconds)
+        return stats
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +79,28 @@ def _to_numpy(output) -> Union[np.ndarray, tuple, list, dict]:
     if isinstance(output, dict):
         return {key: _to_numpy(value) for key, value in output.items()}
     return output
+
+
+def _split_outputs(output, count: int) -> List:
+    """Split one batched output into ``count`` single-image outputs.
+
+    The structure-preserving inverse of :func:`_concat_outputs`: every array is
+    sliced along the batch axis (keeping a batch dimension of 1), tuples/lists/
+    dicts are split element-wise.  Used by the serving layer to hand each
+    request of a micro-batch its own slice of the batched result.
+    """
+    if isinstance(output, np.ndarray):
+        if output.shape[0] != count:
+            raise ValueError(
+                f"cannot split batch axis of length {output.shape[0]} into {count} requests")
+        return [output[index:index + 1] for index in range(count)]
+    if isinstance(output, (tuple, list)):
+        parts = [_split_outputs(item, count) for item in output]
+        return [type(output)(part[index] for part in parts) for index in range(count)]
+    if isinstance(output, dict):
+        parts = {key: _split_outputs(value, count) for key, value in output.items()}
+        return [{key: parts[key][index] for key in output} for index in range(count)]
+    raise TypeError(f"cannot split output of type {type(output).__name__}")
 
 
 def _concat_outputs(outputs: List):
@@ -134,11 +177,7 @@ class BatchRunner:
             batch = np.ascontiguousarray(batch, dtype=np.float32)
             start = time.perf_counter()
             outputs.append(self._forward(batch))
-            elapsed = time.perf_counter() - start
-            stats.batches += 1
-            stats.images += batch.shape[0]
-            stats.seconds += elapsed
-            stats.batch_seconds.append(elapsed)
+            stats.record(batch.shape[0], time.perf_counter() - start)
         self.last_stats = stats
         if not outputs:
             raise ValueError("BatchRunner.run received no input batches")

@@ -19,22 +19,30 @@ numpy, and the op set is exactly what the detectors in :mod:`repro.models` need.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-# Global autograd switch, flipped by :class:`no_grad`.  When disabled, produced
+# Autograd switch, flipped by :class:`no_grad`.  When disabled, produced
 # tensors are never wired into the tape, which removes the closure/bookkeeping
 # overhead from pure-inference forward passes (the compiled execution engine in
 # :mod:`repro.engine` runs entirely in this mode).
-_GRAD_ENABLED: bool = True
+#
+# The switch is *thread-local*: the serving layer (:mod:`repro.serving`) runs
+# inference worker threads under ``no_grad`` concurrently with whatever the
+# main thread is doing, and a process-global flag would let one thread's
+# ``__exit__`` re-enable the tape in the middle of another thread's forward
+# pass.  Every thread starts with gradients enabled.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """True when new tensor operations are recorded on the autograd tape."""
-    return _GRAD_ENABLED
+    """True when new tensor operations are recorded on the autograd tape
+    (per-thread; a fresh thread starts with gradients enabled)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 class no_grad:
@@ -56,14 +64,12 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
@@ -156,7 +162,7 @@ class Tensor:
         backward: Optional[Callable[[np.ndarray], None]],
     ) -> "Tensor":
         """Build a result tensor, wiring it into the tape when grads are needed."""
-        if not _GRAD_ENABLED:
+        if not is_grad_enabled():
             return Tensor(data)
         parents = tuple(parents)
         requires = any(p.requires_grad for p in parents)

@@ -37,6 +37,7 @@ from repro.pipeline.spec import (
     ModelSpec,
     QuantizationSpec,
     RunSpec,
+    ServeSpec,
 )
 from repro.pipeline.stages import (
     CompileStage,
@@ -53,7 +54,7 @@ __all__ = [
     "ARTIFACT_VERSION", "DeployableArtifact",
     "Pipeline", "run_spec",
     "EngineSpec", "EvaluationSpec", "FrameworkSpec", "ModelSpec",
-    "QuantizationSpec", "RunSpec",
+    "QuantizationSpec", "RunSpec", "ServeSpec",
     "CompileStage", "EvaluateStage", "FinetuneStage", "PipelineContext",
     "PruneStage", "QuantizeStage", "Stage", "default_stages",
 ]

@@ -220,6 +220,48 @@ class EvaluationSpec(_SpecNode):
 
 
 @dataclass
+class ServeSpec(_SpecNode):
+    """Serving defaults baked into an artifact (consumed by ``repro serve``).
+
+    These knobs configure :class:`repro.serving.InferenceService` /
+    :class:`repro.serving.BatchPolicy` when the artifact is served; the
+    ``requests`` / ``concurrency`` pair parameterizes the default
+    load-generation run of the ``serve`` CLI subcommand.
+    """
+
+    enabled: bool = False
+    #: Micro-batch closes at this many requests ...
+    max_batch_size: int = 8
+    #: ... or once its oldest request has waited this long (0 = no coalescing wait).
+    max_wait_ms: float = 2.0
+    #: Bounded admission queue; beyond it requests are rejected.
+    queue_capacity: int = 256
+    #: Resident-model bound of the serving ModelPool (LRU beyond it).
+    pool_capacity: int = 2
+    #: Warm loaded models with one forward pass before accepting traffic.
+    warmup: bool = True
+    #: Default load-generation volume of the `serve` CLI subcommand.
+    requests: int = 64
+    #: Default closed-loop client count of the `serve` CLI subcommand.
+    concurrency: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"ServeSpec.max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"ServeSpec.max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"ServeSpec.queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.pool_capacity < 1:
+            raise ValueError(
+                f"ServeSpec.pool_capacity must be >= 1, got {self.pool_capacity}")
+        if self.requests < 1 or self.concurrency < 1:
+            raise ValueError("ServeSpec.requests and ServeSpec.concurrency must be >= 1")
+
+
+@dataclass
 class RunSpec(_SpecNode):
     """One end-to-end deployment run: prune → (finetune) → quantize → compile → evaluate."""
 
@@ -233,6 +275,7 @@ class RunSpec(_SpecNode):
     quantization: QuantizationSpec = field(default_factory=QuantizationSpec)
     engine: EngineSpec = field(default_factory=EngineSpec)
     evaluation: EvaluationSpec = field(default_factory=EvaluationSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
     #: Where Pipeline.run() saves the DeployableArtifact; None skips saving
     #: unless the caller (e.g. the CLI) chooses a path.
     artifact_path: Optional[str] = None

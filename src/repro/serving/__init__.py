@@ -1,0 +1,68 @@
+"""High-throughput inference serving over deployable artifacts.
+
+The rest of the repo produces a fast pruned model
+(:class:`~repro.pipeline.artifact.DeployableArtifact` + the compiled engine);
+this package keeps it resident and pushes concurrent request streams through
+it — the layer that turns measured *kernel* speedups into measured
+*end-to-end* throughput under a latency budget, which is the R-TOSS paper's
+real-time claim:
+
+* :mod:`repro.serving.pool` — :class:`ModelPool`, an LRU-bounded pool of
+  loaded, warmed, compiled models keyed by artifact path,
+* :mod:`repro.serving.batcher` — :class:`DynamicBatcher`, a thread-safe queue
+  that coalesces single-image requests into micro-batches
+  (``max_batch_size`` / ``max_wait_ms``) with bounded-queue admission control
+  and per-request :class:`InferenceFuture`\\ s,
+* :mod:`repro.serving.service` — :class:`InferenceService`, the front door:
+  ``submit()`` / ``submit_many()`` / graceful ``shutdown()``, with optional
+  detection postprocessing (:func:`make_yolo_postprocess`),
+* :mod:`repro.serving.metrics` — :class:`ServingMetrics`, p50/p95/p99 latency,
+  throughput, queue depth and batch-size distribution as plain dicts,
+* :mod:`repro.serving.loadgen` — closed-loop and Poisson open-loop synthetic
+  load generators returning :class:`LoadReport`.
+
+Quick use::
+
+    from repro.serving import BatchPolicy, InferenceService
+
+    with InferenceService("artifacts/tiny.npz",
+                          policy=BatchPolicy(max_batch_size=8,
+                                             max_wait_ms=2.0)) as service:
+        future = service.submit(image)           # (C, H, W) -> InferenceFuture
+        output = future.result()
+        print(service.report()["latency"])       # p50/p95/p99 ...
+
+or from the command line::
+
+    python -m repro.cli serve --artifact artifacts/tiny.npz \\
+        --requests 64 --concurrency 8
+"""
+
+from repro.serving.batcher import (
+    BatchPolicy,
+    DynamicBatcher,
+    InferenceFuture,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serving.loadgen import LoadReport, closed_loop, open_loop
+from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import ModelPool, PooledModel, as_batch_callable
+from repro.serving.service import InferenceService, make_yolo_postprocess
+
+__all__ = [
+    "BatchPolicy",
+    "DynamicBatcher",
+    "InferenceFuture",
+    "InferenceService",
+    "LoadReport",
+    "ModelPool",
+    "PooledModel",
+    "QueueFullError",
+    "ServiceClosedError",
+    "ServingMetrics",
+    "as_batch_callable",
+    "closed_loop",
+    "make_yolo_postprocess",
+    "open_loop",
+]

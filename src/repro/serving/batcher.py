@@ -1,0 +1,313 @@
+"""Dynamic micro-batching: coalesce single-image requests into model batches.
+
+The R-TOSS engine's compiled GEMMs amortize their gather/launch overhead over
+the batch axis, so serving one image at a time throws most of the measured
+kernel speedup away.  :class:`DynamicBatcher` recovers it at the service
+boundary: producers :meth:`~DynamicBatcher.submit` single images and get a
+:class:`InferenceFuture` back; a dedicated worker thread coalesces queued
+requests into micro-batches under a :class:`BatchPolicy` — a batch closes when
+it reaches ``max_batch_size`` *or* when the oldest request in it has waited
+``max_wait_ms`` — executes the batch, and resolves each request's future with
+its slice of the batched output.
+
+Backpressure is explicit: the queue is bounded by ``queue_capacity`` and a
+non-blocking :meth:`~DynamicBatcher.submit` raises :class:`QueueFullError`
+instead of buffering unboundedly (admission control); ``block=True`` turns the
+same bound into producer backpressure.  Shutdown drains: every request admitted
+before :meth:`~DynamicBatcher.shutdown` is executed and resolved — nothing is
+dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.runner import RunnerStats, _split_outputs
+from repro.serving.metrics import ServingMetrics
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.batcher")
+
+
+class QueueFullError(RuntimeError):
+    """Raised on admission when the request queue is at ``queue_capacity``."""
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised on admission after the batcher/service has been shut down."""
+
+
+@dataclass
+class BatchPolicy:
+    """Knobs of the micro-batching policy.
+
+    max_batch_size:
+        A batch closes as soon as it holds this many requests.
+    max_wait_ms:
+        ... or as soon as the *oldest* request in it has waited this long.
+        ``0`` disables coalescing waits entirely (each batch takes whatever is
+        queued right now) — lowest latency, least batching.
+    queue_capacity:
+        Bound of the admission queue; beyond it, non-blocking submits are
+        rejected with :class:`QueueFullError`.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"BatchPolicy.max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"BatchPolicy.max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"BatchPolicy.queue_capacity must be >= 1, got {self.queue_capacity}")
+
+
+class InferenceFuture:
+    """Handle to one in-flight request; resolved by the batcher's worker."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        #: ``time.perf_counter()`` at resolution (for client-side latency math).
+        self.resolved_at: Optional[float] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until resolved; re-raises the batch's exception on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        return self._error
+
+    # ------------------------------------------------------------------ internal
+    def _resolve(self, result: Any) -> None:
+        self._result = result
+        self.resolved_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.resolved_at = time.perf_counter()
+        self._event.set()
+
+
+class _Request:
+    """One queued image plus its future and admission timestamp."""
+
+    __slots__ = ("image", "future", "enqueued_at")
+
+    def __init__(self, image: np.ndarray) -> None:
+        self.image = image
+        self.future = InferenceFuture()
+        self.enqueued_at = time.perf_counter()
+
+
+class DynamicBatcher:
+    """Thread-safe request queue + micro-batch executor.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable taking one stacked NCHW float32 batch and returning the model
+        output (array, or nested tuple/list/dict of arrays — anything
+        :func:`repro.engine.runner._split_outputs` can slice).
+    policy:
+        The :class:`BatchPolicy`; defaults are sensible for a small CPU model.
+    metrics:
+        Optional shared :class:`ServingMetrics` to record batches/completions.
+    postprocess:
+        Optional callable applied to each request's sliced output *outside* the
+        queue lock (e.g. detection decoding + NMS); its return value becomes
+        the future's result.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[np.ndarray], Any],
+        policy: Optional[BatchPolicy] = None,
+        metrics: Optional[ServingMetrics] = None,
+        postprocess: Optional[Callable[[Any], Any]] = None,
+        name: str = "batcher",
+    ) -> None:
+        self._run_batch = run_batch
+        self.policy = policy or BatchPolicy()
+        self.metrics = metrics
+        self._postprocess = postprocess
+        self.name = name
+        self.stats = RunnerStats()
+
+        self._queue: Deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._space_available = threading.Condition(self._lock)
+        self._closed = False
+        self._image_shape: Optional[Tuple[int, ...]] = None
+        self._worker = threading.Thread(
+            target=self._worker_loop, name=f"repro-serving-{name}", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ admission
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def submit(self, image: np.ndarray, block: bool = False,
+               timeout: Optional[float] = None) -> InferenceFuture:
+        """Admit one image; returns its :class:`InferenceFuture`.
+
+        ``image`` is a single ``(C, H, W)`` image (a ``(1, C, H, W)`` array is
+        squeezed).  Non-blocking submits raise :class:`QueueFullError` when the
+        queue is at capacity; ``block=True`` waits for space instead
+        (backpressure), raising :class:`TimeoutError` after ``timeout`` seconds.
+        """
+        image = np.ascontiguousarray(image, dtype=np.float32)
+        if image.ndim == 4:
+            if image.shape[0] != 1:
+                raise ValueError(
+                    f"submit() takes one image, got a batch of {image.shape[0]}; "
+                    "use InferenceService.submit_many for batches")
+            image = image[0]
+        if image.ndim != 3:
+            raise ValueError(f"expected a (C, H, W) image, got shape {image.shape}")
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(f"{self.name} has been shut down")
+            if self._image_shape is None:
+                self._image_shape = image.shape
+            elif image.shape != self._image_shape:
+                raise ValueError(
+                    f"image shape {image.shape} does not match the shape this "
+                    f"batcher serves {self._image_shape} (one batcher serves one "
+                    "input signature)")
+            deadline = None if timeout is None else time.perf_counter() + timeout
+            while len(self._queue) >= self.policy.queue_capacity:
+                if not block:
+                    if self.metrics is not None:
+                        self.metrics.record_rejection()
+                    raise QueueFullError(
+                        f"{self.name} queue is full "
+                        f"({self.policy.queue_capacity} requests waiting)")
+                # Wait on the *remaining* time so repeated wakeups (space taken
+                # by another producer) cannot extend the total block past
+                # ``timeout``.
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"timed out waiting for space in the {self.name} queue")
+                if not self._space_available.wait(remaining):
+                    raise TimeoutError(
+                        f"timed out waiting for space in the {self.name} queue")
+                if self._closed:
+                    raise ServiceClosedError(f"{self.name} has been shut down")
+            request = _Request(image)
+            self._queue.append(request)
+            depth = len(self._queue)
+            self._work_available.notify()
+        if self.metrics is not None:
+            self.metrics.record_admission(depth)
+        return request.future
+
+    # ------------------------------------------------------------------ worker
+    def _collect_batch(self) -> List[_Request]:
+        """Block until work exists, then coalesce one micro-batch (policy-bound).
+
+        Returns an empty list exactly once: when the batcher is closed and the
+        queue is fully drained, signalling the worker to exit.
+        """
+        policy = self.policy
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._work_available.wait()
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            deadline = batch[0].enqueued_at + policy.max_wait_ms / 1e3
+            while len(batch) < policy.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                if self._closed:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._work_available.wait(remaining)
+            self._space_available.notify(len(batch))
+            return batch
+
+    def _execute(self, batch: List[_Request]) -> None:
+        started = time.perf_counter()
+        try:
+            stacked = np.stack([request.image for request in batch])
+            outputs = self._run_batch(stacked)
+            slices = _split_outputs(outputs, len(batch))
+        except BaseException as error:  # resolve every waiter, never hang them
+            logger.warning("batch of %d failed: %s", len(batch), error)
+            for request in batch:
+                if self.metrics is not None:
+                    self.metrics.record_completion(
+                        time.perf_counter() - request.enqueued_at, failed=True)
+                request.future._fail(error)
+            return
+        elapsed = time.perf_counter() - started
+        self.stats.record(len(batch), elapsed)
+        if self.metrics is not None:
+            self.metrics.record_batch(len(batch), elapsed)
+        for request, output in zip(batch, slices):
+            try:
+                result = output if self._postprocess is None else self._postprocess(output)
+            except BaseException as error:
+                request.future._fail(error)
+            else:
+                request.future._resolve(result)
+            finally:
+                if self.metrics is not None:
+                    self.metrics.record_completion(
+                        time.perf_counter() - request.enqueued_at)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                return
+            self._execute(batch)
+
+    # ------------------------------------------------------------------ lifecycle
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Stop admissions, drain the queue, join the worker (idempotent).
+
+        Every already-admitted request is executed and its future resolved
+        before the worker exits — flush-on-shutdown never drops requests.
+        """
+        with self._lock:
+            self._closed = True
+            self._work_available.notify_all()
+            self._space_available.notify_all()
+        self._worker.join(timeout)
+        if self._worker.is_alive():  # pragma: no cover - defensive
+            logger.warning("%s worker did not drain within %.1fs", self.name, timeout or 0.0)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -1,0 +1,216 @@
+"""Synthetic load generation for benchmarking the serving layer.
+
+Two standard load models:
+
+* :func:`closed_loop` — ``concurrency`` client threads, each holding at most
+  one outstanding request (submit, wait, repeat) until ``requests`` total have
+  completed.  Throughput-oriented: this is how the serving benchmark and the
+  ``repro serve`` CLI measure sustained requests/second.
+* :func:`open_loop` — a single dispatcher issues requests at ``rate_hz`` with
+  Poisson (exponential inter-arrival) spacing, *without* waiting for replies.
+  Arrival rate is independent of service rate, so this is the load model that
+  actually exercises queue growth, coalescing under pressure and admission
+  rejection.
+
+Both return a :class:`LoadReport` of client-observed latency percentiles
+(admission to future-resolution, the end-to-end number a user would see) plus
+counts of completed/rejected requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.batcher import InferenceFuture, QueueFullError
+from repro.serving.service import InferenceService
+from repro.utils.profiling import LatencyStats
+
+
+@dataclass
+class LoadReport:
+    """Client-side outcome of one load-generation run."""
+
+    mode: str
+    requests: int
+    completed: int
+    rejected: int
+    failed: int
+    duration_seconds: float
+    latency: LatencyStats = field(default_factory=LatencyStats, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "duration_s": round(self.duration_seconds, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency": self.latency.summary(),
+        }
+
+    def flat_row(self) -> Dict[str, object]:
+        """One table row for :func:`repro.evaluation.tables.format_table`."""
+        summary = self.latency.summary()
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": summary["p50_ms"],
+            "p95_ms": summary["p95_ms"],
+            "p99_ms": summary["p99_ms"],
+        }
+
+
+def _image_cycle(images: np.ndarray):
+    """Index-cycling accessor over a stack of request images."""
+    if images.ndim != 4 or images.shape[0] == 0:
+        raise ValueError(f"expected a non-empty (N, C, H, W) image stack, "
+                         f"got shape {images.shape}")
+    count = images.shape[0]
+    return lambda index: images[index % count]
+
+
+def closed_loop(
+    service: InferenceService,
+    images: np.ndarray,
+    requests: int,
+    concurrency: int = 8,
+    model: Optional[str] = None,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive ``requests`` total requests from ``concurrency`` closed-loop clients.
+
+    Each client thread submits with backpressure (``block=True``) and waits for
+    its result before issuing the next request, cycling over ``images``.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    next_image = _image_cycle(images)
+
+    lock = threading.Lock()
+    issued = 0
+    latency = LatencyStats()
+    failed = 0
+
+    def client() -> None:
+        nonlocal issued, failed
+        while True:
+            with lock:
+                index = issued
+                if index >= requests:
+                    return
+                issued += 1
+            started = time.perf_counter()
+            try:
+                future = service.submit(next_image(index), model=model,
+                                        block=True, timeout=timeout)
+                future.result(timeout)
+            except BaseException:
+                with lock:
+                    failed += 1
+            else:
+                with lock:
+                    latency.add(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=client, name=f"loadgen-closed-{i}", daemon=True)
+               for i in range(min(concurrency, requests))]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    return LoadReport(
+        mode="closed-loop",
+        requests=requests,
+        completed=latency.count,
+        rejected=0,
+        failed=failed,
+        duration_seconds=duration,
+        latency=latency,
+    )
+
+
+def open_loop(
+    service: InferenceService,
+    images: np.ndarray,
+    requests: int,
+    rate_hz: float,
+    model: Optional[str] = None,
+    seed: int = 0,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Issue ``requests`` requests at ``rate_hz`` with Poisson arrivals.
+
+    Submission is non-blocking: when the service's bounded queue is full the
+    request is counted as *rejected* and the generator moves on — exactly the
+    admission-control behaviour a real overloaded service exhibits.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+    next_image = _image_cycle(images)
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_hz, size=requests)
+    futures: List[InferenceFuture] = []
+    submit_times: List[float] = []
+    rejected = 0
+
+    started = time.perf_counter()
+    next_due = started
+    for index in range(requests):
+        now = time.perf_counter()
+        if next_due > now:
+            time.sleep(next_due - now)
+        next_due += float(gaps[index])
+        # Stamp before submitting: a fast worker can resolve the future before
+        # submit() even returns, and latency must never come out negative.
+        submitted = time.perf_counter()
+        try:
+            futures.append(service.submit(next_image(index), model=model, block=False))
+            submit_times.append(submitted)
+        except QueueFullError:
+            rejected += 1
+
+    latency = LatencyStats()
+    failed = 0
+    for future, submitted in zip(futures, submit_times):
+        try:
+            future.result(timeout)
+        except BaseException:
+            failed += 1
+        else:
+            # resolved_at is stamped by the worker, so waiting on future N
+            # does not inflate the recorded latency of future N+1.
+            latency.add(future.resolved_at - submitted)
+    duration = time.perf_counter() - started
+
+    return LoadReport(
+        mode="open-loop",
+        requests=requests,
+        completed=latency.count,
+        rejected=rejected,
+        failed=failed,
+        duration_seconds=duration,
+        latency=latency,
+    )

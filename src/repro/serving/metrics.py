@@ -1,0 +1,141 @@
+"""Thread-safe serving metrics: latency percentiles, throughput, batch shapes.
+
+One :class:`ServingMetrics` instance is shared by an
+:class:`~repro.serving.service.InferenceService` and its
+:class:`~repro.serving.batcher.DynamicBatcher`: the batcher records executed
+micro-batches and per-request completion latency, the service records
+admissions and rejections.  :meth:`ServingMetrics.report` exports everything as
+one nested plain dict, which is what the ``repro serve`` CLI prints and the
+serving benchmark writes to ``BENCH_serving.json``.
+
+All counters sit behind one lock — recording is a few appends/increments, so
+contention is negligible next to a model forward pass.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.utils.profiling import LatencyStats, percentile
+
+
+class ServingMetrics:
+    """Aggregated statistics of one serving session.
+
+    Latency is measured per request from admission (enqueue) to completion
+    (future resolved), i.e. it includes queueing delay — the number a client
+    actually observes, not just model time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency = LatencyStats()
+        self._batch_sizes: List[int] = []
+        self._batch_seconds: List[float] = []
+        self._queue_depths: List[int] = []
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._first_admission: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # ------------------------------------------------------------------ recording
+    def record_admission(self, queue_depth: int) -> None:
+        """One request accepted into the queue (``queue_depth`` after enqueue)."""
+        now = time.perf_counter()
+        with self._lock:
+            self._admitted += 1
+            self._queue_depths.append(int(queue_depth))
+            if self._first_admission is None:
+                self._first_admission = now
+
+    def record_rejection(self) -> None:
+        """One request turned away at admission (queue full or service closed)."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        """One executed micro-batch of ``size`` requests taking ``seconds``."""
+        with self._lock:
+            self._batch_sizes.append(int(size))
+            self._batch_seconds.append(float(seconds))
+
+    def record_completion(self, latency_seconds: float, failed: bool = False) -> None:
+        """One request finished (its future resolved), successfully or not."""
+        now = time.perf_counter()
+        with self._lock:
+            self._completed += 1
+            if failed:
+                self._failed += 1
+            else:
+                self._latency.add(latency_seconds)
+            self._last_completion = now
+
+    # ------------------------------------------------------------------ reporting
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    def throughput(self) -> float:
+        """Completed requests per second of wall-clock serving time."""
+        with self._lock:
+            if (self._first_admission is None or self._last_completion is None
+                    or self._completed == 0):
+                return 0.0
+            elapsed = self._last_completion - self._first_admission
+            return self._completed / elapsed if elapsed > 0 else 0.0
+
+    def report(self) -> Dict[str, object]:
+        """Everything as one nested plain dict (JSON-ready)."""
+        throughput = self.throughput()
+        with self._lock:
+            sizes = list(self._batch_sizes)
+            histogram: Dict[int, int] = {}
+            for size in sizes:
+                histogram[size] = histogram.get(size, 0) + 1
+            return {
+                "requests": {
+                    "admitted": self._admitted,
+                    "completed": self._completed,
+                    "failed": self._failed,
+                    "rejected": self._rejected,
+                },
+                "throughput_rps": round(throughput, 2),
+                "latency": self._latency.summary(),
+                "batches": {
+                    "count": len(sizes),
+                    "mean_size": round(sum(sizes) / len(sizes), 2) if sizes else 0.0,
+                    "max_size": max(sizes) if sizes else 0,
+                    "p50_batch_ms": round(percentile(self._batch_seconds, 50) * 1e3, 3),
+                    "size_histogram": {str(k): v for k, v in sorted(histogram.items())},
+                },
+                "queue": {
+                    "mean_depth": round(sum(self._queue_depths) / len(self._queue_depths), 2)
+                    if self._queue_depths else 0.0,
+                    "max_depth": max(self._queue_depths) if self._queue_depths else 0,
+                },
+            }
+
+    def flat_row(self) -> Dict[str, object]:
+        """One flat table row (for :func:`repro.evaluation.tables.format_table`)."""
+        report = self.report()
+        latency = report["latency"]
+        return {
+            "completed": report["requests"]["completed"],
+            "rejected": report["requests"]["rejected"],
+            "throughput_rps": report["throughput_rps"],
+            "p50_ms": latency["p50_ms"],
+            "p95_ms": latency["p95_ms"],
+            "p99_ms": latency["p99_ms"],
+            "mean_batch": report["batches"]["mean_size"],
+            "max_queue": report["queue"]["max_depth"],
+        }

@@ -2,7 +2,7 @@
 
 from repro.utils.rng import default_rng, set_global_seed, spawn_rng
 from repro.utils.logging import get_logger
-from repro.utils.profiling import Timer
+from repro.utils.profiling import LatencyStats, Timer, percentile
 from repro.utils.serialization import load_state_dict, save_state_dict
 
 __all__ = [
@@ -10,7 +10,9 @@ __all__ = [
     "set_global_seed",
     "spawn_rng",
     "get_logger",
+    "LatencyStats",
     "Timer",
+    "percentile",
     "load_state_dict",
     "save_state_dict",
 ]

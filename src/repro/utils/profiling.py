@@ -1,9 +1,18 @@
-"""Small timing helpers used by examples and the evaluation pipeline."""
+"""Small timing helpers used by examples, the evaluation pipeline and serving.
+
+Beyond the stopwatch (:class:`Timer`) and the training-loop mean
+(:class:`RunningAverage`), this module owns the repo's percentile machinery:
+:func:`percentile` and :class:`LatencyStats` are what the serving metrics
+(:mod:`repro.serving.metrics`) and the engine's :class:`repro.engine.runner.RunnerStats`
+use to report p50/p95/p99 latency instead of a bare mean.
+"""
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
 
 
 @dataclass
@@ -52,3 +61,99 @@ class RunningAverage:
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linearly interpolated percentile of ``values`` (numpy's default method).
+
+    ``q`` is in percent (0..100).  An empty input returns ``0.0`` so callers
+    reporting on a quiet service never divide by or index into nothing.
+
+    Example
+    -------
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    >>> percentile([1.0, 2.0, 3.0, 4.0, 100.0], 50)
+    3.0
+    >>> percentile([5.0], 99)
+    5.0
+    >>> percentile([], 95)
+    0.0
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[int(rank)]
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+@dataclass
+class LatencyStats:
+    """Latency sample collector with percentile reporting.
+
+    Samples are recorded in **seconds**; :meth:`summary` reports milliseconds,
+    the unit every table in the repo prints latency in.  This replaces the
+    ad-hoc mean-only timing that callers used to build from
+    :class:`RunningAverage`: tail latency (p95/p99) is what a serving latency
+    budget is written against, and a mean cannot see it.
+
+    Not thread-safe on its own — concurrent writers must hold their own lock
+    (see :class:`repro.serving.metrics.ServingMetrics`).
+
+    Example
+    -------
+    >>> stats = LatencyStats()
+    >>> for ms in [1.0, 2.0, 3.0, 4.0, 100.0]:
+    ...     stats.add(ms / 1000.0)
+    >>> stats.count
+    5
+    >>> stats.summary()["p50_ms"]
+    3.0
+    >>> stats.summary()["max_ms"]
+    100.0
+    >>> LatencyStats().summary()["count"]
+    0
+    """
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        self.samples.extend(float(s) for s in seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def quantile_seconds(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def summary(self, digits: int = 3) -> Dict[str, float]:
+        """Flat milliseconds report: count, mean, p50/p95/p99, max."""
+        if not self.samples:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0,
+                    "p99_ms": 0.0, "max_ms": 0.0}
+        to_ms = lambda seconds: round(seconds * 1e3, digits)
+        return {
+            "count": len(self.samples),
+            "mean_ms": to_ms(self.mean_seconds),
+            "p50_ms": to_ms(self.quantile_seconds(50)),
+            "p95_ms": to_ms(self.quantile_seconds(95)),
+            "p99_ms": to_ms(self.quantile_seconds(99)),
+            "max_ms": to_ms(max(self.samples)),
+        }

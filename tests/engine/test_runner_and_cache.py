@@ -70,6 +70,32 @@ def test_batch_runner_stats_and_plain_module(rng):
     assert len(stats.batch_seconds) == 3
 
 
+def test_runner_stats_zero_seconds_reports_zero_throughput():
+    """A zero-duration run must report 0.0 images/second, not float('inf')."""
+    from repro.engine import RunnerStats
+
+    stats = RunnerStats()
+    assert stats.images_per_second == 0.0
+    stats.images = 5                      # images recorded but no time elapsed
+    assert stats.images_per_second == 0.0
+    assert stats.as_dict()["images_per_second"] == 0.0
+    stats.record(5, 0.5)
+    assert stats.images_per_second == pytest.approx(20.0)
+
+
+def test_runner_stats_batch_latency_percentiles():
+    """RunnerStats exposes per-batch percentiles through LatencyStats."""
+    from repro.engine import RunnerStats
+
+    stats = RunnerStats()
+    for seconds in (0.010, 0.020, 0.030, 0.040):
+        stats.record(2, seconds)
+    summary = stats.batch_latency().summary()
+    assert summary["count"] == 4
+    assert summary["p50_ms"] == pytest.approx(25.0)
+    assert summary["max_ms"] == pytest.approx(40.0)
+
+
 def test_batch_runner_rejects_empty_and_bad_batch_size():
     model, _ = _pruned_tiny()
     with pytest.raises(ValueError):

@@ -11,6 +11,7 @@ from repro.pipeline.spec import (
     ModelSpec,
     QuantizationSpec,
     RunSpec,
+    ServeSpec,
 )
 
 FULL_SPEC_DICT = {
@@ -24,6 +25,9 @@ FULL_SPEC_DICT = {
                "repeats": 2},
     "evaluation": {"enabled": True, "image_size": 96, "probe_size": 64,
                    "baseline_map": 55.5, "platforms": ["jetson_tx2"]},
+    "serve": {"enabled": True, "max_batch_size": 4, "max_wait_ms": 1.5,
+              "queue_capacity": 32, "pool_capacity": 1, "warmup": False,
+              "requests": 24, "concurrency": 3},
     "artifact_path": "artifacts/full.npz",
 }
 
@@ -41,6 +45,10 @@ class TestDefaults:
         assert spec.name == "minimal"
         assert spec.framework.trace_size == 64
         assert spec.quantization.bits == 8
+        # Serving section defaults off but carries usable policy defaults.
+        assert not spec.serve.enabled
+        assert spec.serve.max_batch_size == 8
+        assert spec.serve.queue_capacity == 256
 
 
 class TestRoundTrip:
@@ -112,6 +120,24 @@ class TestValidation:
     def test_engine_batch_validated(self):
         with pytest.raises(ValueError, match="batch"):
             EngineSpec(batch=0)
+
+    def test_serve_spec_validated(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServeSpec(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            ServeSpec(max_wait_ms=-0.5)
+        with pytest.raises(ValueError, match="queue_capacity"):
+            ServeSpec(queue_capacity=0)
+        with pytest.raises(ValueError, match="pool_capacity"):
+            ServeSpec(pool_capacity=0)
+        with pytest.raises(ValueError, match="requests"):
+            ServeSpec(requests=0)
+        with pytest.raises(ValueError, match="concurrency"):
+            ServeSpec(concurrency=-1)
+
+    def test_serve_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match=r"ServeSpec: unknown key\(s\) \['batchsize'\]"):
+            RunSpec.from_dict({"serve": {"batchsize": 4}})
 
     def test_evaluation_probe_validated(self):
         with pytest.raises(ValueError):

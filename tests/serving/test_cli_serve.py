@@ -1,0 +1,44 @@
+"""The `repro serve` CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+class TestServeCommand:
+    def test_serve_closed_loop_reports_and_verifies(self, artifact_path, capsys):
+        code = cli_main(["serve", "--artifact", artifact_path,
+                         "--requests", "12", "--concurrency", "3",
+                         "--max-batch-size", "4", "--max-wait-ms", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "MISMATCH" not in out
+        for column in ("p50_ms", "p95_ms", "p99_ms", "throughput_rps"):
+            assert column in out
+        assert "Micro-batch size distribution" in out
+
+    def test_serve_open_loop(self, artifact_path, capsys):
+        code = cli_main(["serve", "--artifact", artifact_path,
+                         "--requests", "10", "--mode", "open", "--rate", "400",
+                         "--no-verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "open-loop" in out
+
+    def test_serve_defaults_come_from_artifact_spec(self, artifact_path, capsys):
+        # The fixture spec bakes serve.requests=16 / max_batch_size=4 defaults.
+        code = cli_main(["serve", "--artifact", artifact_path, "--no-verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "16 requests" in out and "batch<= 4" in out
+
+    def test_serve_missing_artifact_errors(self, tmp_path, capsys):
+        code = cli_main(["serve", "--artifact", str(tmp_path / "nope.npz")])
+        assert code == 2
+        assert "could not load artifact" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_counts(self, artifact_path, capsys):
+        assert cli_main(["serve", "--artifact", artifact_path,
+                         "--requests", "0"]) == 2

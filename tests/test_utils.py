@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.utils.logging import get_logger, set_verbosity
-from repro.utils.profiling import RunningAverage, Timer
+from repro.utils.profiling import LatencyStats, RunningAverage, Timer, percentile
 from repro.utils.rng import default_rng, get_global_seed, set_global_seed, spawn_rng
 from repro.utils.serialization import load_state_dict, save_state_dict
 
@@ -83,3 +83,42 @@ class TestLoggingAndTimers:
         avg.update(2.0)
         avg.update(4.0, n=3)
         assert avg.average == pytest.approx(3.5)
+
+
+class TestLatencyStats:
+    def test_percentile_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(5)
+        values = rng.random(37).tolist()
+        for q in (0, 10, 50, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([4.2], 99) == 4.2
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], 101)
+
+    def test_summary_reports_percentiles_in_ms(self):
+        stats = LatencyStats()
+        stats.extend(ms / 1000.0 for ms in [1.0, 2.0, 3.0, 4.0, 100.0])
+        summary = stats.summary()
+        assert summary["count"] == 5
+        assert summary["p50_ms"] == pytest.approx(3.0)
+        assert summary["p95_ms"] > summary["p50_ms"]
+        assert summary["max_ms"] == pytest.approx(100.0)
+        assert summary["mean_ms"] == pytest.approx(22.0)
+
+    def test_empty_summary_is_all_zero(self):
+        summary = LatencyStats().summary()
+        assert summary == {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                           "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+
+    def test_profiling_doctests_pass(self):
+        """The module's doctests are part of its contract (LatencyStats/percentile)."""
+        import doctest
+
+        import repro.utils.profiling as profiling
+
+        failures, tested = doctest.testmod(profiling)
+        assert failures == 0
+        assert tested > 0
