@@ -1,13 +1,21 @@
 # Developer entry points for the R-TOSS reproduction.
 #
-#   make test        tier-1 test suite (the roadmap verify command)
-#   make smoke       end-to-end pipeline run from the example RunSpec
-#                    (prune → quantize → compile → evaluate + artifact reload)
-#   make serve-smoke pipeline run + the artifact served under concurrent load
-#                    through repro.serving (equivalence check + latency report)
-#   make bench       paper figures/tables + measured engine speedups
-#   make docs-check  docs hygiene: README exists, docs/ exists, and every
-#                    src/repro/* package is mentioned in the README module map
+#   make test          tier-1 test suite (the roadmap verify command)
+#   make lint          ruff check + format check (what the CI lint job runs)
+#   make smoke         end-to-end pipeline run from the example RunSpec
+#                      (prune → quantize → compile → evaluate + artifact reload)
+#   make serve-smoke   pipeline run + the artifact served under concurrent load
+#                      through repro.serving (equivalence check + latency report)
+#   make cluster-smoke the artifact served through the multi-process cluster
+#                      (repro.serving.cluster, 2 workers; reuses the serve-smoke
+#                      artifact when present, builds it otherwise; exits
+#                      non-zero if cluster outputs diverge from sequential)
+#   make bench         paper figures/tables + measured engine/serving/cluster
+#                      speedups (writes benchmarks/BENCH_*.json)
+#   make bench-check   compare BENCH_*.json against benchmarks/baselines.json
+#                      (±tolerance band; non-zero exit on regression)
+#   make docs-check    docs hygiene: README exists, docs/ exists, and every
+#                      src/repro/* package is mentioned in the README module map
 
 PYTHON ?= python
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -15,10 +23,14 @@ export PYTHONPATH
 
 SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
 
-.PHONY: test smoke serve-smoke bench docs-check
+.PHONY: test lint smoke serve-smoke cluster-smoke bench bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks tools examples
+	$(PYTHON) -m ruff format --check src/repro/serving/cluster tools
 
 smoke:
 	$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/smoke.npz
@@ -27,8 +39,16 @@ serve-smoke:
 	$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
 	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --requests 32 --concurrency 4
 
+cluster-smoke:
+	@test -f artifacts/serve-smoke.npz || \
+		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
+	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --workers 2 --requests 24 --concurrency 4
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-check:
+	$(PYTHON) tools/bench_check.py --baselines benchmarks/baselines.json --bench-dir benchmarks
 
 docs-check:
 	@test -f README.md || { echo "docs-check: README.md is missing"; exit 1; }
@@ -36,6 +56,7 @@ docs-check:
 	@test -f docs/engine.md || { echo "docs-check: docs/engine.md is missing"; exit 1; }
 	@test -f docs/pipeline.md || { echo "docs-check: docs/pipeline.md is missing"; exit 1; }
 	@test -f docs/serving.md || { echo "docs-check: docs/serving.md is missing"; exit 1; }
+	@test -f docs/cluster.md || { echo "docs-check: docs/cluster.md is missing"; exit 1; }
 	@missing=0; \
 	for pkg in src/repro/*/; do \
 		name=$$(basename $$pkg); \

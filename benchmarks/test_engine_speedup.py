@@ -9,6 +9,9 @@ host CPU.  Every measured speedup is tied to a verified output equivalence
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -25,6 +28,9 @@ REPEATS = 5
 
 # Acceptance floor: compiled sparse path vs the repo's dense inference path.
 MIN_SPEEDUP = 1.3
+
+#: Measured numbers land here for the CI bench-regression gate (make bench-check).
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 
 
 def _pruned_tiny(entries: int):
@@ -61,6 +67,14 @@ def test_engine_speedup_rtoss_2ep(benchmark):
     print()
     print(format_table([row], title="Engine speedup, R-TOSS-2EP on TinyDetector "
                                     "(measured on host CPU vs modeled)"))
+
+    RESULT_PATH.write_text(json.dumps({
+        "speedup": measurement.speedup,
+        "nograd_speedup": measurement.nograd_speedup,
+        "max_abs_diff": float(measurement.max_abs_diff),
+        "modeled_speedup_jetson_tx2": modeled,
+        "row": row,
+    }, indent=2) + "\n")
 
     # Correctness first: the measured speedup only counts on equivalent outputs.
     assert measurement.max_abs_diff < 1e-5

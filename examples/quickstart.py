@@ -81,6 +81,21 @@ def main() -> None:
           f"p50 {latency['p50_ms']:.1f} ms / p99 {latency['p99_ms']:.1f} ms, "
           f"mean micro-batch {batches['mean_size']:.1f}")
 
+    # 5. Shard it across worker processes: same submit surface, every core
+    #    busy, dead workers restarted with their in-flight requests
+    #    re-dispatched (see docs/cluster.md; `repro serve --workers N` does
+    #    this from the CLI).
+    from repro.serving.cluster import Router
+
+    with Router(path, workers=2, routing="least-outstanding",
+                policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0)) as router:
+        load = closed_loop(router, images, requests=16, concurrency=4)
+        cluster = router.report()["cluster"]
+    print(f"cluster ({cluster['worker_count']} workers): "
+          f"{load.throughput_rps:.0f} req/s, "
+          f"restarts {cluster['restarts']}, "
+          f"p99 {cluster['latency']['p99_ms']:.1f} ms")
+
 
 if __name__ == "__main__":
     main()

@@ -14,6 +14,8 @@ Commands
 ``serve``     Serve a DeployableArtifact through the dynamic micro-batching
               inference service (:mod:`repro.serving`), drive it with synthetic
               load and print a p50/p95/p99 latency + throughput report.
+              ``--workers N`` (N > 1) serves through the multi-process cluster
+              (:mod:`repro.serving.cluster`) instead, sharding across cores.
 ``models``    List the models available in the registry with their parameter counts.
 ``frameworks``  List the pruning frameworks available in the registry.
 
@@ -41,6 +43,7 @@ from repro.evaluation import (
 from repro.evaluation.accuracy_proxy import BASELINE_MAP
 from repro.experiments.motivation import census_for_model
 from repro.models import available_models, build_model
+from repro.pipeline.spec import ROUTING_POLICY_NAMES
 from repro.pruning.registry import (
     available_frameworks,
     build_framework,
@@ -126,11 +129,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="micro-batch coalescing wait (default: spec's serve section)")
     serve.add_argument("--queue-capacity", type=int, default=None,
                        help="bounded admission queue (default: spec's serve section)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes; >1 serves through the multi-process "
+                            "cluster (repro.serving.cluster), sharding load across "
+                            "cores (default: the artifact spec's serve.workers)")
+    serve.add_argument("--routing", choices=ROUTING_POLICY_NAMES, default=None,
+                       help="cluster routing policy (default: spec's serve.routing)")
     serve.add_argument("--mode", choices=("closed", "open"), default="closed",
                        help="closed-loop clients (throughput) or Poisson open loop")
     serve.add_argument("--rate", type=float, default=None,
-                       help="open-loop arrival rate in requests/s "
-                            "(default: 2x the measured closed-loop throughput hint, 200)")
+                       help="open-loop arrival rate in requests/s (default: 200)")
     serve.add_argument("--seed", type=int, default=0, help="reproducibility seed")
     serve.add_argument("--no-verify", action="store_true",
                        help="skip the service-vs-sequential-BatchRunner "
@@ -335,29 +343,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     requests = args.requests if args.requests is not None else serve_spec.requests
     concurrency = (args.concurrency if args.concurrency is not None
                    else serve_spec.concurrency)
-    policy = BatchPolicy(
-        max_batch_size=(args.max_batch_size if args.max_batch_size is not None
-                        else serve_spec.max_batch_size),
-        max_wait_ms=(args.max_wait_ms if args.max_wait_ms is not None
-                     else serve_spec.max_wait_ms),
-        queue_capacity=(args.queue_capacity if args.queue_capacity is not None
-                        else serve_spec.queue_capacity),
-    )
+    workers = args.workers if args.workers is not None else serve_spec.workers
+    routing = args.routing if args.routing is not None else serve_spec.routing
+    try:
+        policy = BatchPolicy(
+            max_batch_size=(args.max_batch_size if args.max_batch_size is not None
+                            else serve_spec.max_batch_size),
+            max_wait_ms=(args.max_wait_ms if args.max_wait_ms is not None
+                         else serve_spec.max_wait_ms),
+            queue_capacity=(args.queue_capacity if args.queue_capacity is not None
+                            else serve_spec.queue_capacity),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not serve_spec.enabled:
+        print("note: the artifact's spec does not mark it for serving "
+              "(serve.enabled is false); serving with its serve-section defaults anyway")
     if requests < 1 or concurrency < 1:
         print("error: --requests and --concurrency must be at least 1", file=sys.stderr)
+        return 2
+    if workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
         return 2
 
     rng = np.random.default_rng(args.seed)
     shape = artifact.spec.framework.example_shape()
     images = rng.standard_normal((requests, *shape[1:])).astype(np.float32)
 
+    # The (possibly clustered) concurrent service must produce exactly what a
+    # sequential single-image BatchRunner over the same inputs does; a
+    # mismatch is a correctness failure and exits non-zero.
+    sequential = None
     if not args.no_verify:
-        # The batched concurrent service must produce exactly what a
-        # sequential single-image BatchRunner over the same inputs does.
-        # Run the check through a throwaway service so its traffic does not
-        # pollute the load-phase metrics reported below.
         runnable = artifact.compiled if artifact.compiled is not None else artifact.model
         sequential = BatchRunner(runnable, batch_size=1).run(images)
+
+    if workers > 1:
+        return _serve_cluster(args, artifact, policy, images, sequential,
+                              requests=requests, concurrency=concurrency,
+                              workers=workers, routing=routing)
+
+    if sequential is not None:
+        # Run the check through a throwaway service so its traffic does not
+        # pollute the load-phase metrics reported below.
         with InferenceService(artifact, policy=policy,
                               warmup=serve_spec.warmup) as verify_service:
             served = verify_service.submit_many(images)
@@ -400,6 +429,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     histogram = report["batches"]["size_histogram"]
     if histogram:
         print(format_table([histogram], title="Micro-batch size distribution"))
+    if load.failed:
+        print(f"error: {load.failed} requests failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequential,
+                   requests: int, concurrency: int, workers: int, routing: str) -> int:
+    """The ``repro serve --workers N`` (N > 1) path: drive the process cluster."""
+    from repro.engine import max_abs_output_diff
+    from repro.serving import closed_loop, open_loop
+    from repro.serving.cluster import Router
+
+    serve_spec = artifact.spec.serve
+    with Router(args.artifact, workers=workers, policy=policy, routing=routing,
+                warmup=serve_spec.warmup,
+                pool_capacity=serve_spec.pool_capacity) as router:
+        if sequential is not None:
+            served = router.submit_many(images)
+            diff = max_abs_output_diff(served, sequential)
+            ok = diff < 1e-5
+            print(f"cluster vs sequential BatchRunner (max abs diff): {diff:.2e} "
+                  f"{'OK' if ok else 'MISMATCH'}")
+            if not ok:
+                return 1
+            # Zero the ledgers so the reported metrics cover the load phase
+            # only (the single-worker path uses a throwaway service for this).
+            router.metrics.reset()
+
+        if args.mode == "closed":
+            load = closed_loop(router, images, requests=requests,
+                               concurrency=concurrency)
+        else:
+            rate = args.rate if args.rate is not None else 200.0
+            load = open_loop(router, images, requests=requests, rate_hz=rate,
+                             seed=args.seed)
+        report = router.report()
+
+    print()
+    print(format_table([load.flat_row()],
+                       title=f"repro serve — {args.mode}-loop load on "
+                             f"{artifact.spec.name} cluster ({workers} workers, "
+                             f"{routing} routing, {requests} requests)"))
+    print(format_table([router.metrics.flat_row()],
+                       title="Cluster-side metrics (incl. transport + queueing)"))
+    worker_rows = []
+    for worker_id, stats in sorted(report["workers"].items()):
+        worker_rows.append({
+            "worker": worker_id,
+            "completed": stats["completed"],
+            "failed": stats["failed"],
+            "restarts": stats["restarts"],
+            "p50_ms": stats["latency"]["p50_ms"],
+            "p99_ms": stats["latency"]["p99_ms"],
+        })
+    if worker_rows:
+        print(format_table(worker_rows, title="Per-worker breakdown"))
     if load.failed:
         print(f"error: {load.failed} requests failed", file=sys.stderr)
         return 1

@@ -33,6 +33,7 @@ always builds fresh plans.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -77,6 +78,27 @@ def reset_layout_cache_stats() -> None:
     with _STATS_LOCK:
         _GLOBAL_CACHE_STATS.hits = 0
         _GLOBAL_CACHE_STATS.misses = 0
+
+
+def _reinit_after_fork() -> None:
+    """Make forked children safe to warm their own plans.
+
+    A serving cluster worker forked while a parent thread sits in the
+    layout-miss path would inherit ``_STATS_LOCK`` in the *held* state — the
+    child's very first cache miss would then deadlock.  Re-initialize the lock
+    (and zero the counters: they describe the parent's traffic, not the
+    child's) in every forked child.  Each worker loads and compiles its own
+    artifact, so per-plan layout caches and locks are always born fresh in the
+    process that uses them; only this module-global needed the at-fork reset.
+    """
+    global _STATS_LOCK
+    _STATS_LOCK = threading.Lock()
+    _GLOBAL_CACHE_STATS.hits = 0
+    _GLOBAL_CACHE_STATS.misses = 0
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 @dataclass

@@ -22,6 +22,11 @@ from typing import Any, Dict, Optional, Tuple, Type, TypeVar
 
 SpecT = TypeVar("SpecT", bound="_SpecNode")
 
+#: Routing policies a ServeSpec may name.  This is the serializable contract;
+#: the implementations live in repro.serving.cluster.router, whose registry is
+#: asserted to match this tuple (the spec layer must not import serving).
+ROUTING_POLICY_NAMES = ("round-robin", "least-outstanding", "model-affinity")
+
 
 class _SpecNode:
     """Shared dict/JSON plumbing for every spec dataclass."""
@@ -229,6 +234,9 @@ class ServeSpec(_SpecNode):
     load-generation run of the ``serve`` CLI subcommand.
     """
 
+    #: Marks the artifact as intended for serving.  Informational: ``repro
+    #: serve`` serves any artifact (printing a notice when this is false) —
+    #: there is no serve stage in the pipeline to gate.
     enabled: bool = False
     #: Micro-batch closes at this many requests ...
     max_batch_size: int = 8
@@ -244,6 +252,12 @@ class ServeSpec(_SpecNode):
     requests: int = 64
     #: Default closed-loop client count of the `serve` CLI subcommand.
     concurrency: int = 8
+    #: Worker processes the `serve` CLI drives; >1 serves through the
+    #: multi-process cluster (repro.serving.cluster) instead of one in-process
+    #: service, sharding load across cores.
+    workers: int = 1
+    #: Cluster routing policy (see repro.serving.cluster.available_routing_policies).
+    routing: str = "round-robin"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -259,6 +273,12 @@ class ServeSpec(_SpecNode):
                 f"ServeSpec.pool_capacity must be >= 1, got {self.pool_capacity}")
         if self.requests < 1 or self.concurrency < 1:
             raise ValueError("ServeSpec.requests and ServeSpec.concurrency must be >= 1")
+        if self.workers < 1:
+            raise ValueError(f"ServeSpec.workers must be >= 1, got {self.workers}")
+        if self.routing not in ROUTING_POLICY_NAMES:
+            raise ValueError(
+                f"ServeSpec.routing must be one of {list(ROUTING_POLICY_NAMES)}, "
+                f"got {self.routing!r}")
 
 
 @dataclass

@@ -19,7 +19,12 @@ real-time claim:
 * :mod:`repro.serving.metrics` — :class:`ServingMetrics`, p50/p95/p99 latency,
   throughput, queue depth and batch-size distribution as plain dicts,
 * :mod:`repro.serving.loadgen` — closed-loop and Poisson open-loop synthetic
-  load generators returning :class:`LoadReport`.
+  load generators returning :class:`LoadReport` (they target any
+  :class:`InferenceTarget`: one service or a whole cluster),
+* :mod:`repro.serving.cluster` — the multi-process cluster: worker processes
+  each hosting a full service behind a pickle-free ndarray pipe, a
+  :class:`Router` with pluggable policies, heartbeat-supervised restart with
+  in-flight re-dispatch, and :class:`ClusterMetrics`.
 
 Quick use::
 
@@ -45,24 +50,46 @@ from repro.serving.batcher import (
     QueueFullError,
     ServiceClosedError,
 )
-from repro.serving.loadgen import LoadReport, closed_loop, open_loop
+from repro.serving.cluster import (
+    ClusterMetrics,
+    RemoteInferenceError,
+    Router,
+    WorkerProcess,
+    WorkerUnavailableError,
+    available_routing_policies,
+)
+from repro.serving.loadgen import (
+    InferenceTarget,
+    LoadReport,
+    closed_loop,
+    open_loop,
+    poisson_gaps,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import ModelPool, PooledModel, as_batch_callable
 from repro.serving.service import InferenceService, make_yolo_postprocess
 
 __all__ = [
     "BatchPolicy",
+    "ClusterMetrics",
     "DynamicBatcher",
     "InferenceFuture",
     "InferenceService",
+    "InferenceTarget",
     "LoadReport",
     "ModelPool",
     "PooledModel",
     "QueueFullError",
+    "RemoteInferenceError",
+    "Router",
     "ServiceClosedError",
     "ServingMetrics",
+    "WorkerProcess",
+    "WorkerUnavailableError",
     "as_batch_callable",
+    "available_routing_policies",
     "closed_loop",
     "make_yolo_postprocess",
     "open_loop",
+    "poisson_gaps",
 ]

@@ -43,6 +43,15 @@ class ServiceClosedError(RuntimeError):
     """Raised on admission after the batcher/service has been shut down."""
 
 
+class WorkerUnavailableError(RuntimeError):
+    """A submit targeted a worker (or cluster) with no live process.
+
+    Lives here, next to the other admission errors, so the load generators and
+    the cluster layer share one exception home without loadgen importing
+    upward from :mod:`repro.serving.cluster`.
+    """
+
+
 @dataclass
 class BatchPolicy:
     """Knobs of the micro-batching policy.
@@ -107,6 +116,28 @@ class InferenceFuture:
         self._error = error
         self.resolved_at = time.perf_counter()
         self._event.set()
+
+
+def submit_stack(submit_one: Callable[[np.ndarray], "InferenceFuture"],
+                 images, timeout: Optional[float] = None) -> List[Any]:
+    """The shared ``submit_many`` protocol: unstack, submit, collect in order.
+
+    Splits an ``(N, C, H, W)`` ndarray (or accepts a sequence of images),
+    submits every image through ``submit_one`` (expected to block for
+    backpressure) and waits for all results in request order.  Shared by
+    :meth:`InferenceService.submit_many` and the cluster
+    :meth:`Router.submit_many` so the stack-splitting and ordering semantics
+    cannot drift apart.
+    """
+    if isinstance(images, np.ndarray):
+        if images.ndim != 4:
+            raise ValueError(f"expected an (N, C, H, W) stack, got shape {images.shape}")
+        images = [images[index] for index in range(images.shape[0])]
+    futures = [submit_one(image) for image in images]
+    results = [future.result(timeout) for future in futures]
+    if not results:
+        raise ValueError("submit_many received no images")
+    return results
 
 
 class _Request:
@@ -274,16 +305,17 @@ class DynamicBatcher:
         if self.metrics is not None:
             self.metrics.record_batch(len(batch), elapsed)
         for request, output in zip(batch, slices):
+            failed = False
             try:
                 result = output if self._postprocess is None else self._postprocess(output)
             except BaseException as error:
+                failed = True
                 request.future._fail(error)
             else:
                 request.future._resolve(result)
-            finally:
-                if self.metrics is not None:
-                    self.metrics.record_completion(
-                        time.perf_counter() - request.enqueued_at)
+            if self.metrics is not None:
+                self.metrics.record_completion(
+                    time.perf_counter() - request.enqueued_at, failed=failed)
 
     def _worker_loop(self) -> None:
         while True:

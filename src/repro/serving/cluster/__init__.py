@@ -1,0 +1,74 @@
+"""Multi-process serving cluster: shard inference across worker processes.
+
+PR 3's :class:`~repro.serving.service.InferenceService` is thread-based — one
+GIL, at most one core of compiled-kernel work no matter how many clients push
+load.  This package scales it horizontally on one host:
+
+* :mod:`repro.serving.cluster.worker` — :class:`WorkerProcess`, an
+  ``InferenceService`` (ModelPool + DynamicBatcher) hosted in a
+  ``multiprocessing`` subprocess behind a pickle-free ndarray pipe channel,
+* :mod:`repro.serving.cluster.channel` — :class:`ArrayChannel`, the raw-bytes
+  framing that moves images and (possibly nested) outputs across the process
+  boundary without pickling arrays,
+* :mod:`repro.serving.cluster.router` — :class:`Router`, the front door:
+  pluggable routing policies (round-robin, least-outstanding, model-affinity
+  hashing), health-check heartbeats, automatic worker restart with in-flight
+  request re-dispatch,
+* :mod:`repro.serving.cluster.metrics` — :class:`ClusterMetrics`, per-worker
+  and aggregate p50/p95/p99 latency and throughput.
+
+Quick use::
+
+    from repro.serving import BatchPolicy
+    from repro.serving.cluster import Router
+
+    with Router("artifacts/tiny.npz", workers=4,
+                policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
+                routing="least-outstanding") as router:
+        outputs = router.submit_many(images)     # == sequential BatchRunner
+        print(router.report()["cluster"])        # p50/p95/p99, throughput ...
+
+or from the command line::
+
+    python -m repro.cli serve --artifact artifacts/tiny.npz --workers 4
+"""
+
+from repro.serving.cluster.channel import (
+    ArrayChannel,
+    ChannelClosedError,
+    flatten_arrays,
+    unflatten_arrays,
+)
+from repro.serving.cluster.metrics import ClusterMetrics
+from repro.serving.cluster.router import (
+    ROUTING_POLICIES,
+    LeastOutstandingPolicy,
+    ModelAffinityPolicy,
+    RoundRobinPolicy,
+    Router,
+    available_routing_policies,
+    build_routing_policy,
+)
+from repro.serving.cluster.worker import (
+    RemoteInferenceError,
+    WorkerProcess,
+    WorkerUnavailableError,
+)
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "ArrayChannel",
+    "ChannelClosedError",
+    "ClusterMetrics",
+    "LeastOutstandingPolicy",
+    "ModelAffinityPolicy",
+    "RemoteInferenceError",
+    "RoundRobinPolicy",
+    "Router",
+    "WorkerProcess",
+    "WorkerUnavailableError",
+    "available_routing_policies",
+    "build_routing_policy",
+    "flatten_arrays",
+    "unflatten_arrays",
+]

@@ -1,0 +1,172 @@
+"""Pickle-free ndarray messaging between the router and its worker processes.
+
+The cluster's data plane moves images and model outputs across process
+boundaries.  ``multiprocessing``'s default transport would ``pickle`` every
+ndarray (a full serialize/deserialize round per request); :class:`ArrayChannel`
+instead frames each message as::
+
+    [4-byte header length][JSON header][raw array bytes ...]
+
+and ships it through ``Connection.send_bytes`` in one write.  Array payloads
+travel as their raw contiguous buffers — the receiver reconstructs them with
+``np.frombuffer`` from the dtype/shape in the header, so no array is ever
+pickled.  (Process *bootstrap* still uses multiprocessing's own machinery; the
+pickle-free guarantee is about the per-request hot path.)
+
+Nested model outputs (tuples/lists/dicts of arrays, e.g. multi-scale detector
+heads) are handled by :func:`flatten_arrays` / :func:`unflatten_arrays`: the
+structure is encoded as a small JSON tree whose leaves are indices into the
+flat array list.
+
+Thread safety: ``send`` serializes concurrent senders on a lock so frames
+never interleave; ``recv`` is expected to be called from a single reader
+thread per end (the worker's main loop, the router's receiver thread).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_HEADER_LEN = struct.Struct("!I")
+
+
+class ChannelClosedError(RuntimeError):
+    """The peer process closed its end (usually: the process died)."""
+
+
+def flatten_arrays(outputs: Any) -> Tuple[Any, List[np.ndarray]]:
+    """Split a nested array structure into ``(treedef, flat array list)``.
+
+    The treedef is JSON-serializable; leaves hold the index of their array in
+    the flat list.  Supported containers are tuples, lists and string-keyed
+    dicts — the same structures :func:`repro.engine.runner._split_outputs`
+    understands.
+    """
+    arrays: List[np.ndarray] = []
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, np.ndarray):
+            arrays.append(node)
+            return {"kind": "array", "index": len(arrays) - 1}
+        if isinstance(node, (tuple, list)):
+            kind = "tuple" if isinstance(node, tuple) else "list"
+            return {"kind": kind, "items": [walk(item) for item in node]}
+        if isinstance(node, dict):
+            keys = list(node)
+            if not all(isinstance(key, str) for key in keys):
+                raise TypeError(f"only string-keyed dicts cross the channel, got keys {keys!r}")
+            return {"kind": "dict", "keys": keys, "items": [walk(node[key]) for key in keys]}
+        raise TypeError(
+            f"cannot send a {type(node).__name__} through an ArrayChannel; "
+            "model outputs must be ndarrays or tuples/lists/dicts of them"
+        )
+
+    return walk(outputs), arrays
+
+
+def unflatten_arrays(treedef: Any, arrays: Sequence[np.ndarray]) -> Any:
+    """Rebuild the nested structure produced by :func:`flatten_arrays`."""
+    kind = treedef["kind"]
+    if kind == "array":
+        return arrays[treedef["index"]]
+    if kind == "tuple":
+        return tuple(unflatten_arrays(item, arrays) for item in treedef["items"])
+    if kind == "list":
+        return [unflatten_arrays(item, arrays) for item in treedef["items"]]
+    if kind == "dict":
+        return {
+            key: unflatten_arrays(item, arrays)
+            for key, item in zip(treedef["keys"], treedef["items"])
+        }
+    raise ValueError(f"unknown treedef node kind {kind!r}")
+
+
+@dataclass
+class Message:
+    """One decoded channel frame."""
+
+    kind: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    arrays: List[np.ndarray] = field(default_factory=list)
+
+
+class ArrayChannel:
+    """Length-prefixed JSON-header + raw-ndarray framing over a ``Connection``."""
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self._send_lock = threading.Lock()
+
+    def send(
+        self,
+        kind: str,
+        meta: Optional[Dict[str, Any]] = None,
+        arrays: Sequence[np.ndarray] = (),
+    ) -> None:
+        """Send one message; raises :class:`ChannelClosedError` if the peer is gone."""
+        buffers = [np.ascontiguousarray(array) for array in arrays]
+        header = {
+            "kind": kind,
+            "meta": meta or {},
+            "arrays": [{"dtype": b.dtype.str, "shape": list(b.shape)} for b in buffers],
+        }
+        header_bytes = json.dumps(header).encode("utf-8")
+        # memoryviews keep join() down to one copy (tobytes() would add a
+        # second full copy per array on the per-request hot path).
+        frame = b"".join(
+            [_HEADER_LEN.pack(len(header_bytes)), header_bytes]
+            + [memoryview(b) for b in buffers]
+        )
+        try:
+            with self._send_lock:
+                self._connection.send_bytes(frame)
+        except (OSError, ValueError, BrokenPipeError, TypeError) as error:
+            # TypeError: another thread close()d the Connection mid-send.
+            raise ChannelClosedError(f"peer went away while sending {kind!r}: {error}") from error
+
+    def recv(self) -> Message:
+        """Receive one message (blocking); raises :class:`ChannelClosedError` on EOF."""
+        try:
+            frame = self._connection.recv_bytes()
+        except (EOFError, OSError, ValueError, TypeError) as error:
+            # TypeError: another thread (shutdown/recovery) close()d the
+            # Connection while this one was blocked in recv.
+            raise ChannelClosedError(f"peer went away: {error}") from error
+        try:
+            (header_len,) = _HEADER_LEN.unpack_from(frame)
+            header = json.loads(frame[4 : 4 + header_len].decode("utf-8"))
+            arrays: List[np.ndarray] = []
+            offset = 4 + header_len
+            for spec in header["arrays"]:
+                dtype = np.dtype(spec["dtype"])
+                shape = tuple(spec["shape"])
+                count = int(np.prod(shape, dtype=np.int64))
+                array = np.frombuffer(frame, dtype=dtype, count=count, offset=offset)
+                # Copy out of the frame: frombuffer views are read-only (futures
+                # must resolve to writable arrays, same as in-process serving)
+                # and would otherwise pin the whole received frame in memory.
+                arrays.append(array.reshape(shape).copy())
+                offset += dtype.itemsize * count
+        except (KeyError, ValueError, struct.error, json.JSONDecodeError) as error:
+            # A frame truncated by a dying peer is indistinguishable from EOF.
+            raise ChannelClosedError(f"malformed frame from peer: {error}") from error
+        return Message(kind=header["kind"], meta=header["meta"], arrays=arrays)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a frame is ready to :meth:`recv` within ``timeout`` seconds."""
+        try:
+            return bool(self._connection.poll(timeout))
+        except (OSError, EOFError, ValueError, TypeError):
+            return False
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

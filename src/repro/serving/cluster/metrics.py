@@ -1,0 +1,157 @@
+"""Cluster-wide serving metrics: per-worker and aggregate latency/throughput.
+
+:class:`ClusterMetrics` is the router-side ledger of everything that crossed
+the process boundary.  Latency is recorded per request from router admission
+to future resolution — it includes channel transport, the worker's queueing
+delay and the model forward, i.e. the number a cluster client actually
+observes.  Per-worker sections make routing-policy skew visible (a
+round-robin cluster should complete roughly equal counts per worker; a
+model-affinity cluster deliberately should not), and the failure counters
+(``restarts``, ``redispatched``) quantify the supervision machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.utils.profiling import LatencyStats
+
+
+class _WorkerLedger:
+    """Per-worker counters (guarded by the owning :class:`ClusterMetrics` lock)."""
+
+    __slots__ = ("submitted", "completed", "failed", "redispatched", "restarts", "latency")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.redispatched = 0
+        self.restarts = 0
+        self.latency = LatencyStats()
+
+
+class ClusterMetrics:
+    """Thread-safe aggregate of one cluster's serving activity."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._workers: Dict[str, _WorkerLedger] = {}
+        self._first_submit: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    def _ledger(self, worker: str) -> _WorkerLedger:
+        ledger = self._workers.get(worker)
+        if ledger is None:
+            ledger = self._workers[worker] = _WorkerLedger()
+        return ledger
+
+    def reset(self) -> None:
+        """Zero every ledger (e.g. between a verification phase and a load run)."""
+        with self._lock:
+            self._workers.clear()
+            self._first_submit = None
+            self._last_completion = None
+
+    # ------------------------------------------------------------------ recording
+    def record_submit(self, worker: str) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self._ledger(worker).submitted += 1
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def record_completion(self, worker: str, latency_seconds: float, failed: bool = False) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            ledger = self._ledger(worker)
+            if failed:
+                ledger.failed += 1
+            else:
+                ledger.completed += 1
+                ledger.latency.add(latency_seconds)
+            self._last_completion = now
+
+    def record_restart(self, worker: str) -> None:
+        """One worker slot was restarted after a death/health-check failure."""
+        with self._lock:
+            self._ledger(worker).restarts += 1
+
+    def record_redispatch(self, worker: str, count: int = 1) -> None:
+        """``count`` in-flight requests were re-sent after ``worker`` died."""
+        with self._lock:
+            self._ledger(worker).redispatched += count
+
+    # ------------------------------------------------------------------ reporting
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return sum(ledger.completed for ledger in self._workers.values())
+
+    @property
+    def restarts(self) -> int:
+        with self._lock:
+            return sum(ledger.restarts for ledger in self._workers.values())
+
+    @property
+    def redispatched(self) -> int:
+        with self._lock:
+            return sum(ledger.redispatched for ledger in self._workers.values())
+
+    def throughput(self) -> float:
+        """Completed requests per second of wall-clock cluster time."""
+        with self._lock:
+            total = sum(ledger.completed for ledger in self._workers.values())
+            if self._first_submit is None or self._last_completion is None or total == 0:
+                return 0.0
+            elapsed = self._last_completion - self._first_submit
+            return total / elapsed if elapsed > 0 else 0.0
+
+    def report(self) -> Dict[str, object]:
+        """Nested plain dict: one section per worker plus the cluster aggregate."""
+        throughput = self.throughput()
+        with self._lock:
+            merged = LatencyStats()
+            workers: Dict[str, object] = {}
+            for name in sorted(self._workers):
+                ledger = self._workers[name]
+                merged.extend(ledger.latency.samples)
+                workers[name] = {
+                    "submitted": ledger.submitted,
+                    "completed": ledger.completed,
+                    "failed": ledger.failed,
+                    "redispatched": ledger.redispatched,
+                    "restarts": ledger.restarts,
+                    "latency": ledger.latency.summary(),
+                }
+            return {
+                "workers": workers,
+                "cluster": {
+                    "worker_count": len(workers),
+                    "completed": sum(l.completed for l in self._workers.values()),
+                    "failed": sum(l.failed for l in self._workers.values()),
+                    "restarts": sum(l.restarts for l in self._workers.values()),
+                    "redispatched": sum(l.redispatched for l in self._workers.values()),
+                    "throughput_rps": round(throughput, 2),
+                    "latency": merged.summary(),
+                },
+            }
+
+    def flat_row(self) -> Dict[str, object]:
+        """One table row for :func:`repro.evaluation.tables.format_table`."""
+        report = self.report()
+        cluster = report["cluster"]
+        latency = cluster["latency"]
+        return {
+            "workers": cluster["worker_count"],
+            "completed": cluster["completed"],
+            "failed": cluster["failed"],
+            "restarts": cluster["restarts"],
+            "redispatched": cluster["redispatched"],
+            "throughput_rps": cluster["throughput_rps"],
+            "p50_ms": latency["p50_ms"],
+            "p95_ms": latency["p95_ms"],
+            "p99_ms": latency["p99_ms"],
+        }

@@ -1,0 +1,470 @@
+"""The cluster front door: route requests across worker processes.
+
+:class:`Router` owns ``workers`` :class:`~repro.serving.cluster.worker.WorkerProcess`
+slots, all serving the same artifact, and exposes the exact submit surface of a
+single-process :class:`~repro.serving.service.InferenceService` — ``submit()``
+returning an :class:`~repro.serving.batcher.InferenceFuture`, blocking
+``submit_many()`` with request-order output concatenation, graceful
+``shutdown()`` and the context-manager protocol — so load generators, the CLI
+and the benchmarks can target a cluster and a single service interchangeably.
+
+Routing policies are pluggable (``routing=`` name or a policy object):
+
+* ``round-robin`` — cycle over live workers; even load, no state inspection,
+* ``least-outstanding`` — pick the live worker with the fewest in-flight
+  requests; adapts to stragglers,
+* ``model-affinity`` — hash the request's model key to a worker slot so each
+  model's :class:`~repro.serving.pool.ModelPool` entry stays warm in exactly
+  one process instead of thrashing every pool (falls back deterministically
+  when the home slot is dead).
+
+Failure handling: a monitor thread health-checks every slot (process liveness +
+heartbeat freshness).  A dead worker is restarted in place and every request
+that was in flight on it is **re-dispatched** to a live worker under the same
+future — the client keeps waiting on the handle it already has and no admitted
+request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.runner import _concat_outputs
+from repro.pipeline.spec import ROUTING_POLICY_NAMES
+from repro.serving.batcher import (
+    BatchPolicy,
+    InferenceFuture,
+    ServiceClosedError,
+    submit_stack,
+)
+from repro.serving.cluster.metrics import ClusterMetrics
+from repro.serving.cluster.worker import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    WorkerProcess,
+    WorkerUnavailableError,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.cluster.router")
+
+
+# ------------------------------------------------------------------ routing policies
+class RoundRobinPolicy:
+    """Cycle over live workers in slot order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def select(self, workers: Sequence[Any], model_key: str) -> Any:
+        with self._lock:
+            for offset in range(len(workers)):
+                worker = workers[(self._next + offset) % len(workers)]
+                if worker.accepting:
+                    self._next = (self._next + offset + 1) % len(workers)
+                    return worker
+        raise WorkerUnavailableError("no live workers to route to")
+
+
+class LeastOutstandingPolicy:
+    """Pick the live worker with the fewest in-flight requests."""
+
+    name = "least-outstanding"
+
+    def select(self, workers: Sequence[Any], model_key: str) -> Any:
+        live = [worker for worker in workers if worker.accepting]
+        if not live:
+            raise WorkerUnavailableError("no live workers to route to")
+        return min(live, key=lambda worker: worker.outstanding_count)
+
+
+class ModelAffinityPolicy:
+    """Hash the model key to a home slot so that worker's pool stays warm."""
+
+    name = "model-affinity"
+
+    @staticmethod
+    def _slot(model_key: str, count: int) -> int:
+        digest = hashlib.sha256(model_key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % count
+
+    def select(self, workers: Sequence[Any], model_key: str) -> Any:
+        if not workers:
+            raise WorkerUnavailableError("no live workers to route to")
+        home = self._slot(model_key, len(workers))
+        for offset in range(len(workers)):
+            worker = workers[(home + offset) % len(workers)]
+            if worker.accepting:
+                return worker
+        raise WorkerUnavailableError("no live workers to route to")
+
+
+ROUTING_POLICIES: Dict[str, Callable[[], Any]] = {
+    "round-robin": RoundRobinPolicy,
+    "least-outstanding": LeastOutstandingPolicy,
+    "model-affinity": ModelAffinityPolicy,
+}
+
+assert set(ROUTING_POLICIES) == set(ROUTING_POLICY_NAMES), (
+    "routing registry out of sync with repro.pipeline.spec.ROUTING_POLICY_NAMES"
+)
+
+
+def available_routing_policies() -> Tuple[str, ...]:
+    """Registered routing-policy names (the ``ServeSpec.routing`` choices)."""
+    return tuple(ROUTING_POLICIES)
+
+
+def build_routing_policy(name: str) -> Any:
+    try:
+        return ROUTING_POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown routing policy {name!r}; available: {sorted(ROUTING_POLICIES)}"
+        ) from None
+
+
+# ------------------------------------------------------------------------- router
+class Router:
+    """Multi-process serving cluster over one deployable artifact.
+
+    Parameters
+    ----------
+    artifact_path:
+        ``DeployableArtifact`` ``.npz`` every worker loads in its own process.
+    workers:
+        Number of worker subprocesses (>= 1).
+    policy:
+        Per-worker :class:`BatchPolicy` (micro-batching + admission bound).
+    routing:
+        Policy name from :func:`available_routing_policies` or a policy object
+        with a ``select(workers, model_key)`` method.
+    restart:
+        Restart dead workers and re-dispatch their in-flight requests (the
+        monitor thread; disable only in tests that assert raw death behavior).
+    heartbeat_timeout:
+        Seconds without a heartbeat before a live-looking process is declared
+        unhealthy and recycled.
+    max_restart_attempts:
+        A slot that keeps dying within ``min_worker_uptime`` seconds of
+        starting (e.g. the artifact file is gone: every child exits during
+        load) is abandoned after this many consecutive quick deaths instead of
+        hot-looping respawns; its pending requests fail with the child's fatal
+        error, and once every slot is abandoned submits raise instead of
+        blocking forever.
+    """
+
+    def __init__(
+        self,
+        artifact_path: str,
+        workers: int = 2,
+        policy: Optional[BatchPolicy] = None,
+        routing: Union[str, Any] = "round-robin",
+        warmup: bool = True,
+        restart: bool = True,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = 10.0,
+        start_method: Optional[str] = None,
+        metrics: Optional[ClusterMetrics] = None,
+        max_restart_attempts: int = 5,
+        min_worker_uptime: float = 1.0,
+        pool_capacity: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"Router needs at least one worker, got {workers}")
+        self.artifact_path = artifact_path
+        self.policy = policy or BatchPolicy()
+        self.routing = build_routing_policy(routing) if isinstance(routing, str) else routing
+        self.metrics = metrics or ClusterMetrics()
+        self.warmup = warmup
+        self.restart = restart
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.start_method = start_method
+        self.max_restart_attempts = max_restart_attempts
+        self.min_worker_uptime = min_worker_uptime
+        self.pool_capacity = pool_capacity
+        #: Last "fatal" startup error reported by any worker (diagnostics).
+        self.last_fatal_error: Optional[str] = None
+
+        self._lock = threading.Lock()
+        self._worker_available = threading.Condition(self._lock)
+        self._closed = False
+        self._failures: Dict[int, int] = {}      # slot -> consecutive quick deaths
+        self._abandoned: set = set()             # slots given up on (no respawn)
+        self._workers: List[WorkerProcess] = []
+        for slot in range(workers):
+            self._workers.append(self._spawn(slot))
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor_stop = threading.Event()
+        self._monitor.start()
+
+    # ------------------------------------------------------------------ lifecycle
+    def _spawn(self, slot: int) -> WorkerProcess:
+        worker = WorkerProcess(
+            worker_id=f"worker-{slot}",
+            artifact_path=self.artifact_path,
+            policy=self.policy,
+            metrics=self.metrics,
+            warmup=self.warmup,
+            heartbeat_interval=self.heartbeat_interval,
+            start_method=self.start_method,
+            pool_capacity=self.pool_capacity,
+        )
+        worker.start()
+        return worker
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop admissions, drain every worker, stop the monitor (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            self._worker_available.notify_all()
+        self._monitor_stop.set()
+        self._monitor.join(timeout=5.0)
+        for worker in workers:
+            worker.stop(timeout)
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def workers(self) -> Tuple[WorkerProcess, ...]:
+        """Current worker handles, slot order (restarts replace in place)."""
+        with self._lock:
+            return tuple(self._workers)
+
+    # ------------------------------------------------------------------ submission
+    def submit(
+        self,
+        image: np.ndarray,
+        model: Optional[str] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> InferenceFuture:
+        """Route one ``(C, H, W)`` image to a worker; returns its future.
+
+        Mirrors :meth:`InferenceService.submit`: non-blocking submits raise
+        :class:`~repro.serving.batcher.QueueFullError` under overload; blocking
+        submits wait for queue space (and survive a worker restart mid-wait).
+        """
+        return self._dispatch(image, model=model, block=block, timeout=timeout, future=None)
+
+    def _dispatch(
+        self,
+        image: np.ndarray,
+        model: Optional[str],
+        block: bool,
+        timeout: Optional[float],
+        future: Optional[InferenceFuture],
+        submitted_at: Optional[float] = None,
+    ) -> InferenceFuture:
+        """Routing loop shared by client submits and monitor re-dispatch."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        model_key = model if model is not None else "default"
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError("Router has been shut down")
+                workers = list(self._workers)
+            try:
+                worker = self.routing.select(workers, model_key)
+            except WorkerUnavailableError:
+                with self._lock:
+                    if len(self._abandoned) >= len(self._workers):
+                        detail = f": {self.last_fatal_error}" if self.last_fatal_error else ""
+                        raise WorkerUnavailableError(
+                            f"every worker slot failed permanently{detail}") from None
+                if not block:
+                    raise
+                # Every slot is mid-restart: wait for the monitor to bring one
+                # back instead of failing a blocking caller.
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("timed out waiting for a live worker")
+                with self._worker_available:
+                    if self._closed:
+                        raise ServiceClosedError("Router has been shut down")
+                    self._worker_available.wait(
+                        min(remaining, 0.5) if remaining is not None else 0.5
+                    )
+                continue
+            try:
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                return worker.submit(
+                    image,
+                    model=model,
+                    block=block,
+                    timeout=remaining,
+                    future=future,
+                    submitted_at=submitted_at,
+                )
+            except WorkerUnavailableError:
+                continue  # the worker died between select and submit; re-route
+
+    def submit_many(
+        self,
+        images: Union[np.ndarray, Sequence[np.ndarray]],
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Submit a stack of images with backpressure and wait for all results.
+
+        Outputs come back concatenated along the batch axis in request order —
+        independent of which worker served which micro-batch — so a cluster run
+        is directly comparable to a sequential
+        :class:`~repro.engine.runner.BatchRunner` over the same images.
+        """
+        results = submit_stack(
+            lambda image: self.submit(image, model=model, block=True, timeout=timeout),
+            images,
+            timeout,
+        )
+        return _concat_outputs(results)
+
+    # ------------------------------------------------------------------ supervision
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self.heartbeat_interval):
+            with self._lock:
+                if self._closed:
+                    return
+                snapshot = [
+                    (slot, worker)
+                    for slot, worker in enumerate(self._workers)
+                    if slot not in self._abandoned
+                ]
+            for slot, worker in snapshot:
+                if worker.healthy(self.heartbeat_timeout):
+                    continue
+                self._recover(slot, worker)
+
+    def _recover(self, slot: int, worker: WorkerProcess) -> None:
+        """Replace a dead/unhealthy worker and re-dispatch its in-flight work."""
+        logger.warning(
+            "worker %s (slot %d) is unhealthy (pid %s alive=%s); recovering",
+            worker.worker_id,
+            slot,
+            worker.process.pid if worker.process else None,
+            worker.process.is_alive() if worker.process else False,
+        )
+        uptime = (
+            time.perf_counter() - worker.started_at if worker.started_at is not None else 0.0
+        )
+        worker._mark_dead()
+        if worker.process is not None and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(5.0)
+        if worker.channel is not None:
+            worker.channel.close()
+        pending = worker.take_outstanding()
+        if worker.fatal_error:
+            self.last_fatal_error = worker.fatal_error
+
+        # A slot that keeps dying right after start (broken artifact, import
+        # failure, ...) would otherwise hot-loop fork+load attempts forever.
+        self._failures[slot] = (
+            self._failures.get(slot, 0) + 1 if uptime < self.min_worker_uptime else 1
+        )
+        abandon = self.restart and self._failures[slot] > self.max_restart_attempts
+
+        replacement: Optional[WorkerProcess] = None
+        if self.restart and not abandon:
+            self.metrics.record_restart(worker.worker_id)
+            replacement = self._spawn(slot)
+        with self._lock:
+            if self._closed:
+                if replacement is not None:
+                    replacement.stop(5.0)
+                for request in pending:
+                    request.future._fail(
+                        WorkerUnavailableError("cluster shut down during worker recovery")
+                    )
+                return
+            if replacement is not None:
+                self._workers[slot] = replacement
+            if abandon or not self.restart:
+                self._abandoned.add(slot)
+            self._worker_available.notify_all()
+
+        if abandon or not self.restart:
+            if abandon:
+                logger.error(
+                    "worker slot %d died %d times within %.1fs of start; giving up (%s)",
+                    slot, self._failures[slot], self.min_worker_uptime,
+                    self.last_fatal_error or "no fatal error reported",
+                )
+            detail = f": {self.last_fatal_error}" if self.last_fatal_error else ""
+            for request in pending:
+                request.future._fail(
+                    WorkerUnavailableError(f"worker slot {slot} failed permanently{detail}")
+                )
+            return
+
+        if pending:
+            self.metrics.record_redispatch(worker.worker_id, len(pending))
+            logger.warning(
+                "re-dispatching %d in-flight requests from %s", len(pending), worker.worker_id
+            )
+            # Re-dispatch OFF the monitor thread: blocking dispatch here would
+            # stall supervision, so a second worker dying mid-recovery could
+            # never be restarted and its requests would hang.
+            redispatcher = threading.Thread(
+                target=self._redispatch,
+                args=(pending,),
+                name=f"repro-cluster-redispatch-{worker.worker_id}",
+                daemon=True,
+            )
+            redispatcher.start()
+
+    def _redispatch(self, pending) -> None:
+        for request in pending:
+            # Re-dispatch under the *original* future: clients keep waiting on
+            # the handle they already hold, and the request is never dropped.
+            try:
+                self._dispatch(
+                    request.image,
+                    model=request.model,
+                    block=True,
+                    timeout=120.0,
+                    future=request.future,
+                    submitted_at=request.submitted_at,
+                )
+            except BaseException as error:
+                request.future._fail(error)
+
+    # ------------------------------------------------------------------ reporting
+    def report(self, worker_stats_timeout: float = 2.0) -> Dict[str, Any]:
+        """Cluster metrics + per-worker child-service reports + configuration."""
+        report = self.metrics.report()
+        report["routing"] = getattr(self.routing, "name", type(self.routing).__name__)
+        report["policy"] = {
+            "max_batch_size": self.policy.max_batch_size,
+            "max_wait_ms": self.policy.max_wait_ms,
+            "queue_capacity": self.policy.queue_capacity,
+        }
+        services: Dict[str, Any] = {}
+        for worker in self.workers:
+            stats = worker.request_stats(worker_stats_timeout)
+            if stats is not None:
+                services[worker.worker_id] = stats
+        report["worker_services"] = services
+        return report

@@ -1,0 +1,500 @@
+"""One cluster worker: an :class:`InferenceService` hosted in a subprocess.
+
+The serving layer of PR 3 is thread-based, so every micro-batch still executes
+under one GIL — the compiled sparse kernels never use more than one core.
+:class:`WorkerProcess` moves the whole service (ModelPool + DynamicBatcher)
+into a ``multiprocessing`` subprocess and talks to it through an
+:class:`~repro.serving.cluster.channel.ArrayChannel`:
+
+* the parent keeps a lightweight handle: ``submit()`` records the request in an
+  *outstanding* table (future + original image, so a dead worker's in-flight
+  requests can be re-dispatched) and sends one ``infer`` frame,
+* a receiver thread resolves futures as ``result``/``error`` frames come back
+  and tracks heartbeats,
+* the child loads the artifact **from disk in its own process** (per-process
+  engine warm-up: each worker owns its plan/layout caches — nothing compiled is
+  shared across the fork/spawn boundary), starts heartbeating immediately (so
+  slow artifact loads don't look like death), then serves its pipe.
+
+Backpressure mirrors :class:`~repro.serving.batcher.DynamicBatcher`: the
+parent bounds outstanding requests per worker at the policy's
+``queue_capacity``; non-blocking submits beyond it raise
+:class:`~repro.serving.batcher.QueueFullError`, blocking submits wait.
+
+Worker death is never resolved as a request failure here — the requests stay
+in the outstanding table for the :class:`~repro.serving.cluster.router.Router`
+to re-dispatch (its zero-dropped-requests guarantee).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.batcher import (
+    BatchPolicy,
+    InferenceFuture,
+    QueueFullError,
+    WorkerUnavailableError,
+)
+from repro.serving.cluster.channel import (
+    ArrayChannel,
+    ChannelClosedError,
+    flatten_arrays,
+    unflatten_arrays,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.cluster.worker")
+
+#: Environment override for the multiprocessing start method ("fork"/"spawn").
+START_METHOD_ENV = "REPRO_CLUSTER_START_METHOD"
+
+#: Seconds between child heartbeat frames.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+
+
+class RemoteInferenceError(RuntimeError):
+    """An inference request failed *inside* a worker (the model raised)."""
+
+
+def _mp_context(start_method: Optional[str]):
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    return multiprocessing.get_context(method)
+
+
+# --------------------------------------------------------------------- child side
+def _worker_main(
+    connection,
+    worker_id: str,
+    artifact_path: str,
+    policy_kwargs: Dict[str, Any],
+    warmup: bool,
+    heartbeat_interval: float,
+    pool_capacity: int = 2,
+) -> None:
+    """Entry point of the worker subprocess: serve the pipe until shutdown."""
+    # Imported lazily so a "spawn" child only pays for what it uses.
+    from repro.serving.pool import ModelPool
+    from repro.serving.service import InferenceService
+
+    channel = ArrayChannel(connection)
+    stop_heartbeat = threading.Event()
+    state = {"outstanding": 0}
+
+    def heartbeat_loop() -> None:
+        # Beats from the very start, before the artifact is loaded, so a slow
+        # load/compile never trips the router's health check.
+        while True:
+            meta = {
+                "worker_id": worker_id,
+                "pid": os.getpid(),
+                "outstanding": state["outstanding"],
+            }
+            try:
+                channel.send("heartbeat", meta)
+            except ChannelClosedError:
+                return
+            if stop_heartbeat.wait(heartbeat_interval):
+                return
+
+    heartbeat = threading.Thread(
+        target=heartbeat_loop, name=f"repro-worker-{worker_id}-heartbeat", daemon=True
+    )
+    heartbeat.start()
+
+    try:
+        service = InferenceService(
+            artifact_path,
+            policy=BatchPolicy(**policy_kwargs),
+            pool=ModelPool(capacity=pool_capacity, warmup=warmup),
+            warmup=warmup,
+            name=worker_id,
+        )
+    except BaseException as error:
+        detail = f"{type(error).__name__}: {error}"
+        try:
+            channel.send("fatal", {"worker_id": worker_id, "error": detail})
+        except ChannelClosedError:
+            pass
+        stop_heartbeat.set()
+        return
+
+    pending: Deque[Tuple[int, InferenceFuture]] = deque()
+    pending_cv = threading.Condition()
+    draining = threading.Event()
+
+    def responder_loop() -> None:
+        # Results resolve in submission order (one FIFO batcher per model), so a
+        # single waiter draining `pending` in order never head-of-line blocks a
+        # ready result for long.
+        while True:
+            with pending_cv:
+                while not pending and not draining.is_set():
+                    pending_cv.wait()
+                if not pending:
+                    return
+                request_id, future = pending.popleft()
+                state["outstanding"] = len(pending)
+            try:
+                result = future.result()
+            except BaseException as error:
+                try:
+                    channel.send(
+                        "error",
+                        {"id": request_id, "error": str(error), "type": type(error).__name__},
+                    )
+                except ChannelClosedError:
+                    return
+            else:
+                treedef, arrays = flatten_arrays(result)
+                try:
+                    channel.send("result", {"id": request_id, "tree": treedef}, arrays)
+                except ChannelClosedError:
+                    return
+
+    responder = threading.Thread(
+        target=responder_loop, name=f"repro-worker-{worker_id}-responder", daemon=True
+    )
+    responder.start()
+
+    try:
+        while True:
+            try:
+                message = channel.recv()
+            except ChannelClosedError:
+                break
+            if message.kind == "infer":
+                request_id = int(message.meta["id"])
+                try:
+                    # block=True: the child's bounded queue pushes back through
+                    # the pipe instead of buffering unboundedly.
+                    future = service.submit(
+                        message.arrays[0], model=message.meta.get("model"), block=True
+                    )
+                except BaseException as error:
+                    try:
+                        channel.send(
+                            "error",
+                            {"id": request_id, "error": str(error), "type": type(error).__name__},
+                        )
+                    except ChannelClosedError:
+                        break
+                    continue
+                with pending_cv:
+                    pending.append((request_id, future))
+                    state["outstanding"] = len(pending)
+                    pending_cv.notify()
+            elif message.kind == "stats":
+                try:
+                    channel.send("stats", {"worker_id": worker_id, "report": service.report()})
+                except ChannelClosedError:
+                    break
+            elif message.kind == "shutdown":
+                break
+    finally:
+        # Drain: every admitted request is executed and its result shipped back.
+        service.shutdown()
+        draining.set()
+        with pending_cv:
+            pending_cv.notify_all()
+        responder.join(timeout=30.0)
+        stop_heartbeat.set()
+        try:
+            channel.send("bye", {"worker_id": worker_id})
+        except ChannelClosedError:
+            pass
+        channel.close()
+
+
+# -------------------------------------------------------------------- parent side
+class _PendingRequest:
+    """Parent-side record of one in-flight request (kept until resolution)."""
+
+    __slots__ = ("future", "image", "model", "submitted_at")
+
+    def __init__(self, future: InferenceFuture, image: np.ndarray, model: Optional[str]) -> None:
+        self.future = future
+        self.image = image
+        self.model = model
+        self.submitted_at = time.perf_counter()
+
+
+class WorkerProcess:
+    """Parent-side handle to one inference worker subprocess.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable display name of the worker slot (e.g. ``"worker-0"``).
+    artifact_path:
+        ``DeployableArtifact`` ``.npz`` the child loads, recompiles and warms in
+        its own process.
+    policy:
+        The child service's :class:`BatchPolicy`; its ``queue_capacity`` also
+        bounds this handle's outstanding requests (admission control).
+    pool_capacity:
+        Residency bound of the child service's :class:`ModelPool`
+        (``ServeSpec.pool_capacity``).
+    metrics:
+        Optional shared :class:`~repro.serving.cluster.metrics.ClusterMetrics`.
+    start_method:
+        ``multiprocessing`` start method (default: the platform default, i.e.
+        ``fork`` on Linux; override with ``REPRO_CLUSTER_START_METHOD``).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        worker_id: str,
+        artifact_path: str,
+        policy: Optional[BatchPolicy] = None,
+        metrics: Optional[Any] = None,
+        warmup: bool = True,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        start_method: Optional[str] = None,
+        pool_capacity: int = 2,
+    ) -> None:
+        self.worker_id = worker_id
+        self.artifact_path = artifact_path
+        self.policy = policy or BatchPolicy()
+        self.metrics = metrics
+        self.warmup = warmup
+        self.heartbeat_interval = heartbeat_interval
+        self.start_method = start_method
+        self.pool_capacity = pool_capacity
+
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.channel: Optional[ArrayChannel] = None
+        self.started_at: Optional[float] = None
+        self.last_heartbeat: Optional[float] = None
+        self.fatal_error: Optional[str] = None
+
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._outstanding: Dict[int, _PendingRequest] = {}
+        self._next_id = itertools.count()
+        self._accepting = False
+        self._receiver: Optional[threading.Thread] = None
+        self._stats_event = threading.Event()
+        self._stats: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "WorkerProcess":
+        """Spawn the subprocess and its receiver thread (idempotent-unsafe: once)."""
+        context = _mp_context(self.start_method)
+        parent_end, child_end = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(
+                child_end,
+                self.worker_id,
+                self.artifact_path,
+                {
+                    "max_batch_size": self.policy.max_batch_size,
+                    "max_wait_ms": self.policy.max_wait_ms,
+                    "queue_capacity": self.policy.queue_capacity,
+                },
+                self.warmup,
+                self.heartbeat_interval,
+                self.pool_capacity,
+            ),
+            name=f"repro-cluster-{self.worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_end.close()
+        self.channel = ArrayChannel(parent_end)
+        self.started_at = time.perf_counter()
+        with self._lock:
+            self._accepting = True
+        self._receiver = threading.Thread(
+            target=self._receiver_loop, name=f"repro-cluster-{self.worker_id}-recv", daemon=True
+        )
+        self._receiver.start()
+        logger.info("started worker %s (pid %s)", self.worker_id, self.process.pid)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain the child, then join (escalates to terminate)."""
+        with self._lock:
+            self._accepting = False
+            self._space.notify_all()
+        if self.channel is not None:
+            try:
+                self.channel.send("shutdown")
+            except ChannelClosedError:
+                pass
+        if self.process is not None:
+            self.process.join(timeout)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                logger.warning(
+                    "worker %s did not drain in %.1fs; terminating", self.worker_id, timeout
+                )
+                self.process.terminate()
+                self.process.join(5.0)
+        if self.channel is not None:
+            self.channel.close()
+
+    def kill(self) -> None:
+        """Hard-kill the subprocess (failure-injection hook for tests/benchmarks)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+
+    # ------------------------------------------------------------------ health
+    @property
+    def accepting(self) -> bool:
+        """True while this handle routes new submits to a live process."""
+        with self._lock:
+            if not self._accepting:
+                return False
+        return self.process is not None and self.process.is_alive()
+
+    def healthy(self, heartbeat_timeout: float) -> bool:
+        """Process alive and heartbeats fresh (loads count as the first beat)."""
+        if not self.accepting:
+            return False
+        last = self.last_heartbeat if self.last_heartbeat is not None else self.started_at
+        return last is not None and (time.perf_counter() - last) < heartbeat_timeout
+
+    @property
+    def outstanding_count(self) -> int:
+        with self._lock:
+            return len(self._outstanding)
+
+    # ------------------------------------------------------------------ submission
+    def submit(
+        self,
+        image: np.ndarray,
+        model: Optional[str] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+        future: Optional[InferenceFuture] = None,
+        submitted_at: Optional[float] = None,
+    ) -> InferenceFuture:
+        """Ship one ``(C, H, W)`` image to the worker; returns its future.
+
+        ``future`` and ``submitted_at`` let the router re-dispatch a dead
+        worker's request while keeping the handle the client already waits on
+        and the original admission timestamp (so recorded latency stays
+        admission-to-resolution, including the first, failed leg).
+        """
+        image = np.ascontiguousarray(image, dtype=np.float32)
+        pending = _PendingRequest(future or InferenceFuture(), image, model)
+        if submitted_at is not None:
+            pending.submitted_at = submitted_at
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._lock:
+            if not self._accepting:
+                raise WorkerUnavailableError(f"worker {self.worker_id} is not accepting requests")
+            while len(self._outstanding) >= self.policy.queue_capacity:
+                if not block:
+                    raise QueueFullError(
+                        f"worker {self.worker_id} has {len(self._outstanding)} requests in flight"
+                    )
+                remaining = None if deadline is None else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(f"timed out waiting for space on worker {self.worker_id}")
+                if not self._space.wait(remaining):
+                    raise TimeoutError(f"timed out waiting for space on worker {self.worker_id}")
+                if not self._accepting:
+                    raise WorkerUnavailableError(f"worker {self.worker_id} died while waiting")
+            request_id = next(self._next_id)
+            self._outstanding[request_id] = pending
+        # Re-dispatched requests (future is not None) were already counted at
+        # their original admission; counting again would desync submitted from
+        # completed + failed.
+        if self.metrics is not None and future is None:
+            self.metrics.record_submit(self.worker_id)
+        try:
+            self.channel.send("infer", {"id": request_id, "model": model}, [image])
+        except ChannelClosedError:
+            # The request stays in the outstanding table: the router's monitor
+            # will observe the death and re-dispatch it (never dropped here).
+            self._mark_dead()
+        return pending.future
+
+    def take_outstanding(self) -> List[_PendingRequest]:
+        """Drain the outstanding table (router-side re-dispatch after death)."""
+        with self._lock:
+            pending = list(self._outstanding.values())
+            self._outstanding.clear()
+            self._space.notify_all()
+        return pending
+
+    # ------------------------------------------------------------------ stats
+    def request_stats(self, timeout: float = 2.0) -> Optional[Dict[str, Any]]:
+        """The child service's ``report()`` dict, or None if the worker is gone."""
+        if not self.accepting or self.channel is None:
+            return None
+        self._stats_event.clear()
+        try:
+            self.channel.send("stats")
+        except ChannelClosedError:
+            self._mark_dead()
+            return None
+        if not self._stats_event.wait(timeout):
+            return None
+        return self._stats
+
+    # ------------------------------------------------------------------ receiver
+    def _mark_dead(self) -> None:
+        with self._lock:
+            self._accepting = False
+            self._space.notify_all()
+
+    def _receiver_loop(self) -> None:
+        while True:
+            try:
+                message = self.channel.recv()
+            except ChannelClosedError:
+                self._mark_dead()
+                return
+            if message.kind == "result":
+                pending = self._pop(int(message.meta["id"]))
+                if pending is None:
+                    continue
+                result = unflatten_arrays(message.meta["tree"], message.arrays)
+                latency = time.perf_counter() - pending.submitted_at
+                pending.future._resolve(result)
+                if self.metrics is not None:
+                    self.metrics.record_completion(self.worker_id, latency)
+            elif message.kind == "error":
+                pending = self._pop(int(message.meta["id"]))
+                if pending is None:
+                    continue
+                error = RemoteInferenceError(
+                    f"worker {self.worker_id}: {message.meta.get('type', 'Error')}: "
+                    f"{message.meta.get('error', '')}"
+                )
+                pending.future._fail(error)
+                if self.metrics is not None:
+                    self.metrics.record_completion(
+                        self.worker_id, time.perf_counter() - pending.submitted_at, failed=True
+                    )
+            elif message.kind == "heartbeat":
+                self.last_heartbeat = time.perf_counter()
+            elif message.kind == "stats":
+                self._stats = message.meta.get("report")
+                self._stats_event.set()
+            elif message.kind == "fatal":
+                self.fatal_error = message.meta.get("error")
+                logger.error("worker %s failed to start: %s", self.worker_id, self.fatal_error)
+                self._mark_dead()
+            elif message.kind == "bye":
+                self._mark_dead()
+
+    def _pop(self, request_id: int) -> Optional[_PendingRequest]:
+        with self._lock:
+            pending = self._outstanding.pop(request_id, None)
+            if pending is not None:
+                self._space.notify()
+        return pending

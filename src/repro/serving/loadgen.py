@@ -12,9 +12,14 @@ Two standard load models:
   actually exercises queue growth, coalescing under pressure and admission
   rejection.
 
-Both return a :class:`LoadReport` of client-observed latency percentiles
-(admission to future-resolution, the end-to-end number a user would see) plus
-counts of completed/rejected requests.
+Both target anything exposing the submit surface of
+:class:`~repro.serving.service.InferenceService` — ``submit(image, model=...,
+block=..., timeout=...) -> InferenceFuture`` — which includes the
+multi-process :class:`~repro.serving.cluster.router.Router`
+(:class:`InferenceTarget` spells out the protocol), and both return a
+:class:`LoadReport` of client-observed latency percentiles (admission to
+future-resolution, the end-to-end number a user would see) plus counts of
+completed/rejected requests.
 """
 
 from __future__ import annotations
@@ -22,13 +27,29 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Protocol
 
 import numpy as np
 
-from repro.serving.batcher import InferenceFuture, QueueFullError
-from repro.serving.service import InferenceService
+from repro.serving.batcher import InferenceFuture, QueueFullError, WorkerUnavailableError
 from repro.utils.profiling import LatencyStats
+
+#: What a non-blocking submit raises when the target cannot admit the request
+#: right now: a full queue (service or worker) or, for a cluster, no live
+#: worker to route to.  Open-loop load counts both as rejections.
+ADMISSION_ERRORS = (QueueFullError, WorkerUnavailableError)
+
+
+class InferenceTarget(Protocol):
+    """What a load generator drives: one service *or* a whole cluster router."""
+
+    def submit(
+        self,
+        image: np.ndarray,
+        model: Optional[str] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> InferenceFuture: ...
 
 
 @dataclass
@@ -85,8 +106,24 @@ def _image_cycle(images: np.ndarray):
     return lambda index: images[index % count]
 
 
+def poisson_gaps(rate_hz: float, count: int, seed: int = 0) -> np.ndarray:
+    """Exponential inter-arrival gaps (seconds) of a Poisson process at ``rate_hz``.
+
+    This is exactly the schedule :func:`open_loop` dispatches on, exposed so
+    its statistics are testable: with ``count`` draws the sample mean converges
+    on ``1 / rate_hz`` and (exponential distribution) the standard deviation
+    converges on the mean.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    return rng.exponential(scale=1.0 / rate_hz, size=count)
+
+
 def closed_loop(
-    service: InferenceService,
+    service: InferenceTarget,
     images: np.ndarray,
     requests: int,
     concurrency: int = 8,
@@ -150,7 +187,7 @@ def closed_loop(
 
 
 def open_loop(
-    service: InferenceService,
+    service: InferenceTarget,
     images: np.ndarray,
     requests: int,
     rate_hz: float,
@@ -170,8 +207,7 @@ def open_loop(
         raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
     next_image = _image_cycle(images)
 
-    rng = np.random.default_rng(seed)
-    gaps = rng.exponential(scale=1.0 / rate_hz, size=requests)
+    gaps = poisson_gaps(rate_hz, requests, seed=seed)
     futures: List[InferenceFuture] = []
     submit_times: List[float] = []
     rejected = 0
@@ -189,7 +225,7 @@ def open_loop(
         try:
             futures.append(service.submit(next_image(index), model=model, block=False))
             submit_times.append(submitted)
-        except QueueFullError:
+        except ADMISSION_ERRORS:
             rejected += 1
 
     latency = LatencyStats()

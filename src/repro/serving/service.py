@@ -36,6 +36,7 @@ from repro.serving.batcher import (
     DynamicBatcher,
     InferenceFuture,
     ServiceClosedError,
+    submit_stack,
 )
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import ModelPool, PooledModel
@@ -100,7 +101,9 @@ class InferenceService:
     ) -> None:
         self.policy = policy or BatchPolicy()
         self.metrics = metrics or ServingMetrics()
-        self.pool = pool or ModelPool(warmup=warmup)
+        # Not `pool or ...`: ModelPool defines __len__, so a freshly created
+        # (empty) pool is falsy and would be silently replaced.
+        self.pool = pool if pool is not None else ModelPool(warmup=warmup)
         self._postprocess = postprocess
         self._warmup = warmup
         self._lock = threading.Lock()
@@ -166,15 +169,9 @@ class InferenceService:
         ``BatchRunner(compiled).run(x)``.  With a ``postprocess`` installed the
         return value is the list of per-image postprocessed results instead.
         """
-        if isinstance(images, np.ndarray):
-            if images.ndim != 4:
-                raise ValueError(f"expected an (N, C, H, W) stack, got shape {images.shape}")
-            images = [images[index] for index in range(images.shape[0])]
-        futures = [self.submit(image, model=model, block=True, timeout=timeout)
-                   for image in images]
-        results = [future.result(timeout) for future in futures]
-        if not results:
-            raise ValueError("submit_many received no images")
+        results = submit_stack(
+            lambda image: self.submit(image, model=model, block=True, timeout=timeout),
+            images, timeout)
         if self._postprocess is not None:
             return results
         return _concat_outputs(results)

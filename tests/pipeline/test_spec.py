@@ -27,7 +27,8 @@ FULL_SPEC_DICT = {
                    "baseline_map": 55.5, "platforms": ["jetson_tx2"]},
     "serve": {"enabled": True, "max_batch_size": 4, "max_wait_ms": 1.5,
               "queue_capacity": 32, "pool_capacity": 1, "warmup": False,
-              "requests": 24, "concurrency": 3},
+              "requests": 24, "concurrency": 3, "workers": 4,
+              "routing": "least-outstanding"},
     "artifact_path": "artifacts/full.npz",
 }
 
@@ -134,6 +135,23 @@ class TestValidation:
             ServeSpec(requests=0)
         with pytest.raises(ValueError, match="concurrency"):
             ServeSpec(concurrency=-1)
+        with pytest.raises(ValueError, match="workers"):
+            ServeSpec(workers=0)
+        with pytest.raises(ValueError, match="routing"):
+            ServeSpec(routing="random")
+
+    def test_serve_cluster_fields_round_trip_and_match_registry(self):
+        spec = RunSpec.from_dict({"serve": {"workers": 4, "routing": "model-affinity"}})
+        assert spec.serve.workers == 4
+        assert spec.serve.routing == "model-affinity"
+        assert RunSpec.from_dict(spec.to_dict()).serve.routing == "model-affinity"
+        # The serializable names must be exactly the implemented policies.
+        from repro.pipeline.spec import ROUTING_POLICY_NAMES
+        from repro.serving.cluster import available_routing_policies
+
+        assert tuple(ROUTING_POLICY_NAMES) == available_routing_policies()
+        # Default stays single-process so `repro serve` is cheap by default.
+        assert ServeSpec().workers == 1 and ServeSpec().routing == "round-robin"
 
     def test_serve_unknown_key_rejected(self):
         with pytest.raises(ValueError, match=r"ServeSpec: unknown key\(s\) \['batchsize'\]"):

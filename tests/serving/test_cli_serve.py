@@ -42,3 +42,58 @@ class TestServeCommand:
     def test_serve_rejects_bad_counts(self, artifact_path, capsys):
         assert cli_main(["serve", "--artifact", artifact_path,
                          "--requests", "0"]) == 2
+        assert cli_main(["serve", "--artifact", artifact_path,
+                         "--workers", "0"]) == 2
+
+    def test_serve_rejects_bad_policy_flags(self, artifact_path, capsys):
+        assert cli_main(["serve", "--artifact", artifact_path,
+                         "--max-batch-size", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert cli_main(["serve", "--artifact", artifact_path,
+                         "--max-wait-ms", "-1"]) == 2
+
+    def test_serve_exits_nonzero_on_equivalence_mismatch(self, artifact_path,
+                                                         capsys, monkeypatch):
+        """The sequential-equivalence check is a gate, not a report line: a
+        mismatch must fail the command (CI smoke jobs rely on the exit code)."""
+        import repro.engine
+
+        monkeypatch.setattr(repro.engine, "max_abs_output_diff",
+                            lambda *args, **kwargs: 1.0)
+        code = cli_main(["serve", "--artifact", artifact_path,
+                         "--requests", "6", "--concurrency", "2"])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestServeClusterCommand:
+    def test_serve_cluster_closed_loop_verifies_and_reports(self, artifact_path, capsys):
+        code = cli_main(["serve", "--artifact", artifact_path,
+                         "--workers", "2", "--requests", "12", "--concurrency", "3",
+                         "--max-batch-size", "4", "--max-wait-ms", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster vs sequential BatchRunner" in out
+        assert "OK" in out and "MISMATCH" not in out
+        assert "2 workers" in out and "round-robin routing" in out
+        assert "Per-worker breakdown" in out
+        assert "worker-0" in out and "worker-1" in out
+
+    def test_serve_cluster_routing_flag(self, artifact_path, capsys):
+        code = cli_main(["serve", "--artifact", artifact_path,
+                         "--workers", "2", "--routing", "least-outstanding",
+                         "--requests", "8", "--no-verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "least-outstanding routing" in out
+
+    def test_serve_cluster_exits_nonzero_on_mismatch(self, artifact_path,
+                                                     capsys, monkeypatch):
+        import repro.engine
+
+        monkeypatch.setattr(repro.engine, "max_abs_output_diff",
+                            lambda *args, **kwargs: 1.0)
+        code = cli_main(["serve", "--artifact", artifact_path,
+                         "--workers", "2", "--requests", "6"])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out

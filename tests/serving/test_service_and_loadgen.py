@@ -77,6 +77,18 @@ class TestLifecycleAndMetrics:
         row = service.metrics.flat_row()
         assert row["completed"] == 6 and row["throughput_rps"] > 0
 
+    def test_service_uses_the_passed_pool(self, serve_artifact):
+        """A freshly created pool is empty and therefore falsy (ModelPool has
+        __len__) — the service must still honour it, not silently replace it."""
+        from repro.serving import ModelPool
+
+        pool = ModelPool(capacity=1, warmup=False)
+        svc = InferenceService(serve_artifact, pool=pool, warmup=False)
+        try:
+            assert svc.pool is pool
+        finally:
+            svc.shutdown(30.0)
+
     def test_empty_submit_many_rejected(self, service):
         with pytest.raises(ValueError, match="no images"):
             service.submit_many(np.zeros((0, 3, 64, 64), dtype=np.float32))
@@ -95,6 +107,29 @@ class TestPostprocess:
             for det in detections:
                 assert isinstance(det, Detection)
                 assert det.box.shape == (4,)
+
+    def test_postprocess_failure_counts_as_failed(self, serve_artifact, images):
+        """A postprocess exception fails the future AND the metrics: the failed
+        request must not land in the success latency distribution."""
+        calls = {"count": 0}
+
+        def post(raw):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("decode boom")
+            return raw
+
+        with InferenceService(serve_artifact, postprocess=post,
+                              policy=BatchPolicy(max_batch_size=1,
+                                                 max_wait_ms=0.0)) as svc:
+            first = svc.submit(images[0])
+            with pytest.raises(RuntimeError, match="decode boom"):
+                first.result(30.0)
+            svc.submit(images[1]).result(30.0)
+            report = svc.report()
+        assert report["requests"]["failed"] == 1
+        assert report["requests"]["completed"] == 2
+        assert report["latency"]["count"] == 1
 
     def test_postprocess_matches_direct_decode(self, serve_artifact, images):
         from repro.detection.postprocess import decode_yolo_single_scale
