@@ -30,6 +30,8 @@ test:
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks tools examples
+	$(PYTHON) -m ruff check --select E4,E7,E9,F \
+		src/repro/engine/trace.py src/repro/engine/fuse.py src/repro/engine/arena.py
 	$(PYTHON) -m ruff format --check src/repro/serving/cluster tools
 
 smoke:

@@ -109,6 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--batch", type=int, default=4, help="measurement batch size")
     engine.add_argument("--repeats", type=int, default=5, help="timing repeats (median)")
     engine.add_argument("--seed", type=int, default=0, help="reproducibility seed")
+    engine.add_argument("--no-fuse", action="store_true",
+                        help="disable the traced/fused executor (measure the "
+                             "eager per-layer engine only)")
     engine.add_argument("--plans", action="store_true",
                         help="also print the per-layer compiled plan table")
 
@@ -140,6 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate", type=float, default=None,
                        help="open-loop arrival rate in requests/s (default: 200)")
     serve.add_argument("--seed", type=int, default=0, help="reproducibility seed")
+    serve.add_argument("--no-fuse", action="store_true",
+                       help="serve through the eager per-layer engine instead of "
+                            "the fused executor (single-process mode; cluster "
+                            "workers always follow the artifact's recorded "
+                            "fusion setting)")
     serve.add_argument("--no-verify", action="store_true",
                        help="skip the service-vs-sequential-BatchRunner "
                             "output-equivalence check")
@@ -294,7 +302,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     measurement = measure_speedup(
         model, masks=report.masks, repeats=args.repeats,
         batch=args.batch, image_size=args.image_size, model_name=args.model,
-        seed=args.seed,
+        seed=args.seed, fuse=not args.no_fuse,
     )
 
     # Modeled (analytical) latency for the same pruned model, with the measured
@@ -306,7 +314,13 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     attach_measured(modeled, measurement.compiled_seconds)
 
     if args.plans:
-        compiled = compile_model(model, report.masks, apply_masks=False)
+        compiled = compile_model(model, report.masks, apply_masks=False,
+                                 fuse=not args.no_fuse)
+        if not args.no_fuse:
+            # One forward traces + fuses, so the table shows the modes that
+            # actually execute (e.g. "sparse-im2col-gemm+bn+silu").
+            compiled.forward_raw(
+                np.zeros((1, 3, args.image_size, args.image_size), dtype=np.float32))
         print(format_table(compiled.summary(), title="Compiled layer plans"))
         compiled.detach()
         print()
@@ -337,6 +351,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: could not load artifact {args.artifact!r}: {error}",
               file=sys.stderr)
         return 2
+    if args.no_fuse and artifact.compiled is not None:
+        artifact.compiled.fuse = False
 
     # CLI flags override the serving defaults baked into the artifact's spec.
     serve_spec = artifact.spec.serve
@@ -380,6 +396,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sequential = BatchRunner(runnable, batch_size=1).run(images)
 
     if workers > 1:
+        if args.no_fuse:
+            print("note: --no-fuse applies to the in-process verification only; "
+                  "cluster workers load the artifact themselves and follow its "
+                  "recorded fusion setting (re-run `repro run` with engine.fuse "
+                  "= false to serve unfused)")
         return _serve_cluster(args, artifact, policy, images, sequential,
                               requests=requests, concurrency=concurrency,
                               workers=workers, routing=routing)

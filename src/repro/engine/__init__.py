@@ -8,22 +8,30 @@ package makes pruning pay off at inference time on the host CPU:
   layouts cached per (layer, pattern set, input shape),
 * :mod:`repro.engine.compiler` — :func:`compile_model` attaches the plans to a
   model; the fast path only runs under ``no_grad`` so training stays correct,
+* :mod:`repro.engine.trace` — graph tracer: records one forward pass into a
+  flat op-plan list (:class:`~repro.engine.trace.GraphPlan`),
+* :mod:`repro.engine.fuse` — fusion pass + fused executor: folds BatchNorm
+  into the packed conv weights, fuses ReLU/LeakyReLU/SiLU into the GEMM
+  epilogue and runs every op as raw numpy over workspace-arena buffers,
+* :mod:`repro.engine.arena` — shape-keyed workspace arena: zero large-array
+  allocations in steady-state fused inference,
 * :mod:`repro.engine.runner` — :class:`BatchRunner`, the batched front door
-  used by the evaluator and the CLI,
-* :mod:`repro.engine.bench` — :func:`measure_speedup`, wall-clock dense-vs-
-  compiled comparison with built-in output-equivalence checking.
+  used by the evaluator and the CLI (reused staging buffer, padded tail batch),
+* :mod:`repro.engine.bench` — :func:`measure_speedup`, wall-clock dense vs
+  eager-compiled vs fused comparison with built-in output-equivalence checks.
 
 Quick use::
 
     from repro.engine import compile_model, measure_speedup
 
     report = RTOSSPruner(RTOSSConfig(entries=2)).prune(model, example)
-    engine = compile_model(model, report.masks)
-    outputs = engine(batch)                       # compiled no-grad inference
+    engine = compile_model(model, report.masks)   # fuse=True by default
+    outputs = engine(batch)                       # fused no-grad inference
     m = measure_speedup(model, masks=report.masks)
-    print(m.speedup, m.max_abs_diff)
+    print(m.speedup, m.fused_speedup, m.max_abs_diff)
 """
 
+from repro.engine.arena import WorkspaceArena
 from repro.engine.bench import (
     EngineMeasurement,
     max_abs_output_diff,
@@ -31,6 +39,7 @@ from repro.engine.bench import (
     time_callable,
 )
 from repro.engine.compiler import CompiledModel, compile_model
+from repro.engine.fuse import FusedProgram, fuse_graph
 from repro.engine.plan import (
     ConvPlan,
     compile_conv_plan,
@@ -39,19 +48,26 @@ from repro.engine.plan import (
     reset_layout_cache_stats,
 )
 from repro.engine.runner import BatchRunner, RunnerStats
+from repro.engine.trace import GraphPlan, TraceError, trace_graph
 
 __all__ = [
     "BatchRunner",
     "CompiledModel",
     "ConvPlan",
     "EngineMeasurement",
+    "FusedProgram",
+    "GraphPlan",
     "RunnerStats",
+    "TraceError",
+    "WorkspaceArena",
     "compile_conv_plan",
     "compile_model",
     "execute_plan",
+    "fuse_graph",
     "layout_cache_stats",
     "max_abs_output_diff",
     "measure_speedup",
     "reset_layout_cache_stats",
     "time_callable",
+    "trace_graph",
 ]

@@ -47,7 +47,7 @@ def time_callable(fn: Callable[[], object], repeats: int = 5, warmup: int = 1) -
 
 @dataclass
 class EngineMeasurement:
-    """Outcome of one dense-vs-compiled wall-clock comparison."""
+    """Outcome of one dense-vs-compiled(-vs-fused) wall-clock comparison."""
 
     model_name: str
     input_shape: Tuple[int, ...]
@@ -60,6 +60,11 @@ class EngineMeasurement:
     fallback_layers: int = 0
     kept_columns: int = 0
     total_columns: int = 0
+    #: Wall-clock of the fused executor (0.0 when fusion was off/unavailable).
+    fused_seconds: float = 0.0
+    #: Layers per executed mode string, taken from the compiled summary (the
+    #: plan's / fused op's own ``mode``, never a hardcoded label).
+    mode_census: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -75,6 +80,27 @@ class EngineMeasurement:
         return self.dense_nograd_seconds / self.compiled_seconds
 
     @property
+    def fused_speedup(self) -> float:
+        """Fused-executor speedup over the taped dense path (0.0 if unmeasured)."""
+        if not self.fused_seconds:
+            return 0.0
+        return self.dense_seconds / self.fused_seconds
+
+    @property
+    def fused_nograd_speedup(self) -> float:
+        """Fused-executor speedup over the no-grad dense path (0.0 if unmeasured)."""
+        if not self.fused_seconds:
+            return 0.0
+        return self.dense_nograd_seconds / self.fused_seconds
+
+    @property
+    def fusion_speedup(self) -> float:
+        """What fusion itself buys: eager-compiled over fused (0.0 if unmeasured)."""
+        if not self.fused_seconds:
+            return 0.0
+        return self.compiled_seconds / self.fused_seconds
+
+    @property
     def column_sparsity(self) -> float:
         if not self.total_columns:
             return 0.0
@@ -82,7 +108,7 @@ class EngineMeasurement:
 
     def row(self) -> Dict[str, object]:
         """Flat dictionary for the table formatters (the Fig. 6 'measured' row)."""
-        return {
+        row = {
             "model": self.model_name,
             "input": "x".join(str(dim) for dim in self.input_shape),
             "dense_ms": round(self.dense_seconds * 1e3, 2),
@@ -92,6 +118,12 @@ class EngineMeasurement:
             "measured_speedup_nograd": round(self.nograd_speedup, 2),
             "max_abs_diff": float(self.max_abs_diff),
         }
+        if self.fused_seconds:
+            row["fused_ms"] = round(self.fused_seconds * 1e3, 2)
+            row["fused_speedup"] = round(self.fused_speedup, 2)
+            row["fused_speedup_nograd"] = round(self.fused_nograd_speedup, 2)
+            row["fusion_speedup"] = round(self.fusion_speedup, 2)
+        return row
 
 
 def measure_speedup(
@@ -106,8 +138,9 @@ def measure_speedup(
     batch: int = 4,
     seed: int = 0,
     compiled: Optional[CompiledModel] = None,
+    fuse: bool = True,
 ) -> EngineMeasurement:
-    """Measure dense vs compiled inference latency on the host CPU.
+    """Measure dense vs compiled (and fused) inference latency on the host CPU.
 
     Parameters
     ----------
@@ -129,6 +162,12 @@ def measure_speedup(
         the dense measurements and left *attached* on return; without it a
         temporary engine is compiled and detached before returning, so the
         model leaves this function exactly as dense-callable as it entered.
+    fuse:
+        Also measure the traced/fused executor: ``compiled_seconds`` always
+        times the eager per-layer engine (so the metric stays comparable
+        across releases) and ``fused_seconds`` times the fused program.  Both
+        paths are equivalence-checked against the dense output; the engine's
+        ``fuse`` flag is restored to this value on return.
     """
     if x is None:
         rng = np.random.default_rng(seed)
@@ -158,14 +197,33 @@ def measure_speedup(
     dense_nograd_seconds = time_callable(lambda: dense_runner.run(x), repeats, warmup)
 
     if owns_compiled:
-        compiled = compile_model(model, masks, apply_masks=False)
+        compiled = compile_model(model, masks, apply_masks=False, fuse=fuse)
     else:
         compiled.attach()
     try:
         runner = BatchRunner(compiled, batch_size=batch_size)
+        # Eager per-layer engine first: `compiled_seconds` keeps its historical
+        # meaning (PR-1 execution strategy) even now that fusion is on by
+        # default, so speedup baselines stay comparable.
+        compiled.fuse = False
         compiled_out = runner.run(x)
         max_abs_diff = max_abs_output_diff(compiled_out, dense_out)
         compiled_seconds = time_callable(lambda: runner.run(x), repeats, warmup)
+
+        fused_seconds = 0.0
+        if fuse:
+            compiled.fuse = True
+            fused_out = runner.run(x)  # warms the trace + arena
+            if compiled.fused_active:
+                max_abs_diff = max(max_abs_diff,
+                                   max_abs_output_diff(fused_out, dense_out))
+                fused_seconds = time_callable(lambda: runner.run(x), repeats, warmup)
+
+        mode_census: Dict[str, int] = {}
+        for layer_row in compiled.summary():
+            mode = str(layer_row["mode"])
+            mode_census[mode] = mode_census.get(mode, 0) + 1
+
         measurement = EngineMeasurement(
             model_name=model_name or type(model).__name__,
             input_shape=tuple(x.shape),
@@ -178,8 +236,11 @@ def measure_speedup(
             fallback_layers=len(compiled.fallback_layers),
             kept_columns=compiled.kept_columns(),
             total_columns=compiled.total_columns(),
+            fused_seconds=fused_seconds,
+            mode_census=mode_census,
         )
     finally:
+        compiled.fuse = fuse
         if owns_compiled:
             compiled.detach()
     return measurement

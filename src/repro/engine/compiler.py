@@ -8,12 +8,21 @@ attached engine never silently breaks gradients — the fast path is only taken
 under :class:`repro.nn.tensor.no_grad`, which is what :meth:`CompiledModel.__call__`
 and :class:`repro.engine.runner.BatchRunner` use.
 
+With ``fuse=True`` (the default) the first no-grad forward additionally traces
+the model into a flat op plan (:mod:`repro.engine.trace`) and lowers it into a
+:class:`repro.engine.fuse.FusedProgram` — BatchNorm folded into the packed conv
+weights, activations fused into the GEMM epilogue, every intermediate written
+into a shape-keyed workspace arena.  Subsequent no-grad calls run the fused
+program; gradient-enabled calls and untraceable models keep the eager per-layer
+path, so fusion is a pure fast path, never a behavior change.
+
 Grouped convolutions (``groups > 1``) stay on the dense fallback path and are
 listed in :attr:`CompiledModel.fallback_layers`.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -78,11 +87,19 @@ class CompiledModel:
     """
 
     def __init__(self, model: Module, plans: Dict[str, ConvPlan],
-                 fallback_layers: List[str], mask_signature: Optional[str] = None) -> None:
+                 fallback_layers: List[str], mask_signature: Optional[str] = None,
+                 fuse: bool = True) -> None:
         self.model = model
         self.plans = plans
         self.fallback_layers = fallback_layers
         self.mask_signature = mask_signature
+        #: Whether no-grad forwards may use the fused executor.  Toggleable at
+        #: runtime (the benchmark measures eager-vs-fused on one engine); the
+        #: traced program is kept across toggles.
+        self.fuse = fuse
+        self._fused_program = None
+        self._fuse_failed: Optional[str] = None
+        self._fuse_lock = threading.Lock()
         self._attached = False
         self.attach()
 
@@ -131,8 +148,13 @@ class CompiledModel:
         """Re-sync plans with the model's current weights.
 
         Weight-value changes are re-packed in place; a changed keep-mask (e.g.
-        after re-pruning) triggers full recompilation of that layer.
+        after re-pruning) triggers full recompilation of that layer.  The
+        fused program holds folded copies of weights and BN statistics, so it
+        is dropped and lazily re-traced on the next no-grad forward.
         """
+        with self._fuse_lock:
+            self._fused_program = None
+            self._fuse_failed = None
         modules = dict(self.model.named_modules())
         for name, plan in list(self.plans.items()):
             layer = modules[name]
@@ -148,6 +170,55 @@ class CompiledModel:
             else:
                 plan.refresh_weights(layer)
 
+    # ------------------------------------------------------------------ fusion
+    def _fused_for(self, data: np.ndarray):
+        """The fused program, traced lazily on the first no-grad forward.
+
+        Returns None when fusion is disabled or the model proved untraceable
+        (logged once; the eager path keeps serving).  Concurrent first calls
+        serialize on the fuse lock so the model is traced exactly once.
+        """
+        if not self.fuse:
+            return None
+        program = self._fused_program
+        if program is not None or self._fuse_failed is not None:
+            return program
+        from repro.engine.fuse import fuse_graph
+        from repro.engine.trace import TraceError, trace_graph
+
+        with self._fuse_lock:
+            if self._fused_program is None and self._fuse_failed is None:
+                try:
+                    graph = trace_graph(self.model, data)
+                    self._fused_program = fuse_graph(graph, self.plans)
+                    logger.info(
+                        "fused %s: %d traced ops -> %d fused steps",
+                        type(self.model).__name__, len(graph), len(self._fused_program))
+                except TraceError as error:
+                    self._fuse_failed = str(error)
+                    logger.info(
+                        "fusion disabled for %s (eager path kept): %s",
+                        type(self.model).__name__, error)
+            return self._fused_program
+
+    @property
+    def fused_active(self) -> bool:
+        """True once a fused program has been traced and is in use."""
+        return self.fuse and self._fused_program is not None
+
+    @property
+    def fuse_failure(self) -> Optional[str]:
+        """Why tracing failed (None while fused or not yet attempted)."""
+        return self._fuse_failed
+
+    def arena_stats(self) -> Dict[str, int]:
+        """Aggregated workspace-arena counters of the fused executor."""
+        program = self._fused_program
+        if program is None:
+            return {"hits": 0, "misses": 0, "buffers": 0,
+                    "bytes_allocated": 0, "arenas": 0}
+        return program.arena_stats()
+
     # ------------------------------------------------------------------ inference
     def __call__(self, x) -> Tensor:
         """No-grad, eval-mode forward pass through the compiled engine."""
@@ -158,17 +229,47 @@ class CompiledModel:
         if isinstance(x, np.ndarray):
             x = Tensor(x)
         with no_grad():
+            program = self._fused_for(x.data)
+            if program is not None:
+                return _wrap_tensors(program.run(x.data))
             return self.model(x)
 
     def forward_raw(self, data: np.ndarray) -> np.ndarray:
-        """Numpy-in / numpy-out convenience wrapper around :meth:`__call__`."""
-        out = self(Tensor(np.asarray(data, dtype=np.float32)))
-        return out.data
+        """Numpy-in / numpy-out inference through the fused executor.
+
+        This is the serving hot path (:mod:`repro.serving` resolves models to
+        ``forward_raw``): raw arrays in, raw arrays out, no Tensor wrapping.
+        Falls back to the eager per-layer path when fusion is off/untraceable.
+        """
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        if not self._attached:
+            self.attach()
+        if self.model.training:
+            self.model.eval()
+        with no_grad():
+            program = self._fused_for(data)
+            if program is not None:
+                return program.run(data)
+            from repro.engine.runner import _to_numpy
+
+            return _to_numpy(self.model(Tensor(data)))
 
     # ------------------------------------------------------------------ reporting
     def summary(self) -> List[Dict[str, object]]:
-        """One row per compiled layer plus a row per dense fallback layer."""
-        rows = [plan.summary() for plan in self.plans.values()]
+        """One row per compiled layer plus a row per dense fallback layer.
+
+        The ``mode`` column always reports the mode string of what actually
+        executes: once fused, a folded layer shows e.g.
+        ``sparse-im2col-gemm+bn+silu`` instead of the eager plan label.
+        """
+        fused_modes = (self._fused_program.conv_modes()
+                       if self.fused_active and self._fused_program is not None else {})
+        rows = []
+        for name, plan in self.plans.items():
+            row = plan.summary()
+            if name in fused_modes:
+                row["mode"] = fused_modes[name]
+            rows.append(row)
         for name in self.fallback_layers:
             rows.append({"layer": name, "mode": "dense-fallback", "kernel": "-",
                          "columns": "-", "column_sparsity": 0.0, "weight_sparsity": 0.0})
@@ -185,8 +286,15 @@ class CompiledModel:
         return sum(int(plan.kept_columns.size) for plan in self.plans.values())
 
 
+def _wrap_tensors(value):
+    """Wrap a (possibly nested) numpy output structure into Tensors."""
+    from repro.engine.runner import map_structure  # deferred: runner imports us
+
+    return map_structure(Tensor, value)
+
+
 def compile_model(model: Module, masks: Optional[MaskSet] = None,
-                  apply_masks: bool = True) -> CompiledModel:
+                  apply_masks: bool = True, fuse: bool = True) -> CompiledModel:
     """Compile a (pruned) model for pattern-aware sparse inference.
 
     Parameters
@@ -203,6 +311,10 @@ def compile_model(model: Module, masks: Optional[MaskSet] = None,
     apply_masks:
         Set to ``False`` if the masks were already applied and re-zeroing is
         undesirable.
+    fuse:
+        Enable the traced/fused executor for no-grad inference (BN folding,
+        activation epilogues, workspace arena).  The trace happens lazily on
+        the first no-grad forward; untraceable models keep the eager path.
     """
     mask_signature = None
     if masks is not None:
@@ -221,7 +333,7 @@ def compile_model(model: Module, masks: Optional[MaskSet] = None,
         plans[name] = compile_conv_plan(module, name)
 
     model.eval()
-    compiled = CompiledModel(model, plans, fallback, mask_signature)
+    compiled = CompiledModel(model, plans, fallback, mask_signature, fuse=fuse)
     logger.info(
         "compiled %d conv layers (%d dense fallbacks): %d/%d im2col columns kept",
         compiled.num_compiled_layers, len(fallback),

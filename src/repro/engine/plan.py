@@ -142,7 +142,10 @@ class ConvPlan:
     signature: str
     # Kept input channels for the pointwise fast path; None means "all channels".
     pointwise_channels: Optional[np.ndarray] = None
-    _layouts: Dict[Tuple[int, int, int], tuple] = field(default_factory=dict, repr=False)
+    # Gather layouts keyed by (C, H, W) for the eager path and by
+    # ("fused", C, H, W) for the fused executor's flat per-image indices
+    # (deliberately batch-independent: micro-batches of any size share one).
+    _layouts: Dict[tuple, tuple] = field(default_factory=dict, repr=False)
     # Guards layout computation/insertion so concurrent no-grad forward passes
     # (the serving layer runs BatchRunner from several threads) build each
     # layout exactly once; cache-hit reads stay lock-free.
@@ -228,6 +231,17 @@ class ConvPlan:
 
     def _build_layout(self, input_shape: Tuple[int, int, int]) -> tuple:
         _, h, w = input_shape
+        out_h, out_w = self.output_hw(h, w)
+        sh, sw = self.stride
+        oy = sh * np.repeat(np.arange(out_h), out_w)
+        ox = sw * np.tile(np.arange(out_w), out_h)
+        rows = self.tap_rows[:, None] + oy[None, :]            # (K, L)
+        cols = self.tap_cols[:, None] + ox[None, :]            # (K, L)
+        chans = self.channel_index[:, None]                    # (K, 1)
+        return (chans, rows, cols, out_h, out_w)
+
+    def output_hw(self, h: int, w: int) -> Tuple[int, int]:
+        """Spatial output size of this plan on an ``h x w`` input."""
         kh, kw = self.kernel_size
         sh, sw = self.stride
         ph, pw = self.padding
@@ -235,15 +249,50 @@ class ConvPlan:
         out_w = (w + 2 * pw - kw) // sw + 1
         if out_h <= 0 or out_w <= 0:
             raise ValueError(
-                f"convolution output would be empty for input {input_shape}, "
+                f"convolution output would be empty for input {(h, w)}, "
                 f"kernel {self.kernel_size}, stride {self.stride}, padding {self.padding}"
             )
-        oy = sh * np.repeat(np.arange(out_h), out_w)
-        ox = sw * np.tile(np.arange(out_w), out_h)
-        rows = self.tap_rows[:, None] + oy[None, :]            # (K, L)
-        cols = self.tap_cols[:, None] + ox[None, :]            # (K, L)
-        chans = self.channel_index[:, None]                    # (K, 1)
-        return (chans, rows, cols, out_h, out_w)
+        return out_h, out_w
+
+    def fused_layout_for(self, input_shape: Tuple[int, int, int]) -> tuple:
+        """Flat gather indices for the fused executor, cached per (C, H, W).
+
+        Where :meth:`layout_for` yields per-axis ``(chan, row, col)`` fancy
+        indices, this returns one flat ``(K, L)`` int index array into each
+        image's *flattened padded* plane, so the fused executor can gather
+        straight into its arena column buffer with a single buffer-free
+        ``np.take(..., axis=1)``.  Deliberately batch-independent: serving
+        micro-batches of varying sizes share one cached index per geometry.
+        Shares the plan's layout cache (and the global hit/miss statistics)
+        under a distinct key family.
+        """
+        key = ("fused",) + tuple(input_shape)
+        cached = self._layouts.get(key)
+        if cached is not None:
+            _GLOBAL_CACHE_STATS.hits += 1
+            return cached
+        with self._lock:
+            cached = self._layouts.get(key)
+            if cached is not None:
+                _GLOBAL_CACHE_STATS.hits += 1
+                return cached
+            layout = self._build_fused_layout(input_shape)
+            self._layouts[key] = layout
+        with _STATS_LOCK:
+            _GLOBAL_CACHE_STATS.misses += 1
+        return layout
+
+    def _build_fused_layout(self, input_shape: Tuple[int, int, int]) -> tuple:
+        # Same index math as the eager layout; only the flattening differs, so
+        # the two gather paths can never desynchronize.
+        chans, rows, cols, out_h, out_w = self._build_layout(input_shape)
+        _, h, w = input_shape
+        ph, pw = self.padding
+        hp, wp = h + 2 * ph, w + 2 * pw
+        flat = chans * (hp * wp) + rows * wp + cols
+        flat = np.ascontiguousarray(flat, dtype=np.intp)
+        flat.setflags(write=False)
+        return (flat, out_h, out_w, (hp, wp))
 
 
 def _kept_column_indices(layer: Conv2d) -> np.ndarray:

@@ -12,9 +12,10 @@ benchmarks obtain an apples-to-apples dense baseline.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -103,6 +104,43 @@ def _split_outputs(output, count: int) -> List:
     raise TypeError(f"cannot split output of type {type(output).__name__}")
 
 
+def map_structure(fn, value, strict: bool = False):
+    """Apply ``fn`` to every array leaf of a nested output structure.
+
+    Tuples/lists/dicts are rebuilt; non-array leaves pass through unchanged
+    unless ``strict`` (then they raise, for callers that must touch every
+    leaf).  This is the one traversal shared by the output helpers below and
+    by :func:`repro.engine.compiler._wrap_tensors`.
+    """
+    if isinstance(value, np.ndarray):
+        return fn(value)
+    if isinstance(value, (tuple, list)):
+        return type(value)(map_structure(fn, item, strict) for item in value)
+    if isinstance(value, dict):
+        return {key: map_structure(fn, item, strict) for key, item in value.items()}
+    if strict:
+        raise TypeError(f"cannot process output of type {type(value).__name__}")
+    return value
+
+
+def _copy_if_aliased(output, buffer: np.ndarray):
+    """Copy any array in a nested output that shares memory with ``buffer``."""
+    return map_structure(
+        lambda array: array.copy() if np.shares_memory(array, buffer) else array,
+        output)
+
+
+def _take_first(output, count: int):
+    """Keep the first ``count`` batch entries of a (nested) batched output.
+
+    Used by :class:`BatchRunner` to discard the zero-padding rows of the final
+    short batch; arrays are sliced along the batch axis (views — the following
+    :func:`_concat_outputs` copies them into the stacked result).  Non-array
+    leaves pass through unchanged, matching :func:`_concat_outputs` tolerance.
+    """
+    return map_structure(lambda array: array[:count], output)
+
+
 def _concat_outputs(outputs: List):
     """Concatenate per-batch outputs along the batch axis, structure-preserving."""
     first = outputs[0]
@@ -144,6 +182,14 @@ class BatchRunner:
         self.model = model
         self.batch_size = int(batch_size)
         self.last_stats = RunnerStats()
+        # Reusable per-batch staging buffer for stacked-array inputs: batches
+        # are copied into it instead of materializing a fresh contiguous array
+        # per chunk, and the final short batch is padded in place so every
+        # forward of a run sees one shape — which is exactly what keeps the
+        # fused executor's shape-keyed arena on its steady-state path.
+        # Thread-local, so a runner shared across threads (the serving layer's
+        # documented pattern) can never interleave two requests' rows.
+        self._staging_tls = threading.local()
 
     # ------------------------------------------------------------------ execution
     def _forward(self, batch: np.ndarray):
@@ -154,30 +200,65 @@ class BatchRunner:
         with no_grad():
             return _to_numpy(self.model(Tensor(batch)))
 
+    def _staging_for(self, item_shape: tuple) -> np.ndarray:
+        shape = (self.batch_size, *item_shape)
+        staging = getattr(self._staging_tls, "buffer", None)
+        if staging is None or staging.shape != shape:
+            staging = np.empty(shape, dtype=np.float32)
+            self._staging_tls.buffer = staging
+        return staging
+
     def run(self, inputs: Union[np.ndarray, Tensor, Sequence[np.ndarray]]):
         """Run every input image and return the stacked outputs.
 
         ``inputs`` may be a stacked NCHW array/Tensor or a sequence of NCHW
         batches; outputs are concatenated along the batch axis (tuples/dicts of
         tensors are concatenated element-wise).
+
+        Stacked-array inputs that span several batches run through a reused
+        staging buffer, and a final short batch is padded to the full batch
+        size (padding rows replicate the last real image and are discarded).
+        Inference runs in eval mode, where every batch row is independent, so
+        padding never changes the real rows' outputs — it only keeps the
+        forward shape stable for the fused executor's workspace arena.
         """
         if isinstance(inputs, Tensor):
             inputs = inputs.data
-        if isinstance(inputs, np.ndarray):
-            batches: Iterable[np.ndarray] = (
-                inputs[start:start + self.batch_size]
-                for start in range(0, inputs.shape[0], self.batch_size)
-            )
-        else:
-            batches = inputs
 
         stats = RunnerStats()
         outputs = []
-        for batch in batches:
-            batch = np.ascontiguousarray(batch, dtype=np.float32)
-            start = time.perf_counter()
-            outputs.append(self._forward(batch))
-            stats.record(batch.shape[0], time.perf_counter() - start)
+        if isinstance(inputs, np.ndarray):
+            total = inputs.shape[0]
+            if total and total <= self.batch_size:
+                batch = np.ascontiguousarray(inputs, dtype=np.float32)
+                start = time.perf_counter()
+                outputs.append(self._forward(batch))
+                stats.record(total, time.perf_counter() - start)
+            elif total:
+                staging = self._staging_for(inputs.shape[1:])
+                for offset in range(0, total, self.batch_size):
+                    count = min(self.batch_size, total - offset)
+                    staging[:count] = inputs[offset:offset + count]
+                    if count < self.batch_size:
+                        # Replicate the last real image (not zeros) so padding
+                        # rows cannot produce FP warnings a real row would not.
+                        staging[count:] = staging[count - 1]
+                    start = time.perf_counter()
+                    out = self._forward(staging)
+                    elapsed = time.perf_counter() - start
+                    if count < self.batch_size:
+                        out = _take_first(out, count)
+                    # A pathological model could return (views of) its input;
+                    # those must be copied before the staging buffer is reused.
+                    out = _copy_if_aliased(out, staging)
+                    outputs.append(out)
+                    stats.record(count, elapsed)
+        else:
+            for batch in inputs:
+                batch = np.ascontiguousarray(batch, dtype=np.float32)
+                start = time.perf_counter()
+                outputs.append(self._forward(batch))
+                stats.record(batch.shape[0], time.perf_counter() - start)
         self.last_stats = stats
         if not outputs:
             raise ValueError("BatchRunner.run received no input batches")

@@ -8,6 +8,7 @@ which is the only way to get acceptable throughput out of pure numpy.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,17 +27,40 @@ def _pair(value: IntOrPair) -> Tuple[int, int]:
 
 
 # --------------------------------------------------------------------------- im2col
+#: Gather-index cache keyed on ((C, H, W), kernel, stride, padding).  The
+#: indices only depend on geometry (never on the batch size or the data), and
+#: every conv2d call — including the _col2im scatter on the backward path —
+#: used to rebuild them from scratch.  Bounded FIFO so pathological shape
+#: churn (e.g. randomized property tests) cannot grow it without limit.
+_IM2COL_INDEX_CACHE: dict = {}
+_IM2COL_CACHE_LOCK = threading.Lock()
+_IM2COL_CACHE_MAX = 128
+
+
+def _im2col_cache_stats() -> Tuple[int, int]:
+    """(entries, capacity) of the gather-index cache (tests/observability)."""
+    return len(_IM2COL_INDEX_CACHE), _IM2COL_CACHE_MAX
+
+
 def _im2col_indices(
     x_shape: Tuple[int, int, int, int],
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
-    """Compute gather indices turning an NCHW image into column form."""
+    """Gather indices turning an NCHW image into column form (cached).
+
+    The returned index arrays are shared across calls and marked read-only;
+    callers index with them but must never write into them.
+    """
     n, c, h, w = x_shape
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
+    key = ((c, h, w), (kh, kw), (sh, sw), (ph, pw))
+    cached = _IM2COL_INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
     if out_h <= 0 or out_w <= 0:
@@ -53,7 +77,15 @@ def _im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
-    return k, i, j, (out_h, out_w)
+    for array in (k, i, j):
+        array.setflags(write=False)
+    entry = (k, i, j, (out_h, out_w))
+    with _IM2COL_CACHE_LOCK:
+        if len(_IM2COL_INDEX_CACHE) >= _IM2COL_CACHE_MAX:
+            # FIFO eviction: drop the oldest inserted geometry.
+            _IM2COL_INDEX_CACHE.pop(next(iter(_IM2COL_INDEX_CACHE)), None)
+        _IM2COL_INDEX_CACHE[key] = entry
+    return entry
 
 
 def _im2col(

@@ -1,4 +1,12 @@
-"""Activation modules (thin wrappers over :mod:`repro.nn.functional`)."""
+"""Activation modules (thin wrappers over :mod:`repro.nn.functional`).
+
+Each elementwise activation module carries an ``act_tag`` class attribute — a
+stable string name the execution engine's tracer (:mod:`repro.engine.trace`)
+uses to identify the op without ``isinstance`` chains, and the fusion pass
+(:mod:`repro.engine.fuse`) uses to decide which activations can run as an
+in-place GEMM epilogue.  Modules without a tag (e.g. :class:`Softmax`, which
+is not elementwise) fall back to the generic module path in the fused executor.
+"""
 
 from __future__ import annotations
 
@@ -8,11 +16,15 @@ from repro.nn.tensor import Tensor
 
 
 class ReLU(Module):
+    act_tag = "relu"
+
     def forward(self, x: Tensor) -> Tensor:
         return F.relu(x)
 
 
 class LeakyReLU(Module):
+    act_tag = "leaky_relu"
+
     def __init__(self, negative_slope: float = 0.1) -> None:
         super().__init__()
         self.negative_slope = float(negative_slope)
@@ -27,26 +39,36 @@ class LeakyReLU(Module):
 class SiLU(Module):
     """Sigmoid-weighted linear unit, the default YOLOv5 activation."""
 
+    act_tag = "silu"
+
     def forward(self, x: Tensor) -> Tensor:
         return F.silu(x)
 
 
 class Sigmoid(Module):
+    act_tag = "sigmoid"
+
     def forward(self, x: Tensor) -> Tensor:
         return F.sigmoid(x)
 
 
 class Tanh(Module):
+    act_tag = "tanh"
+
     def forward(self, x: Tensor) -> Tensor:
         return F.tanh(x)
 
 
 class Hardswish(Module):
+    act_tag = "hardswish"
+
     def forward(self, x: Tensor) -> Tensor:
         return F.hardswish(x)
 
 
 class GELU(Module):
+    act_tag = "gelu"
+
     def forward(self, x: Tensor) -> Tensor:
         return F.gelu(x)
 

@@ -38,6 +38,25 @@ class BatchNorm2d(Module):
             eps=self.eps,
         )
 
+    def fold_params(self) -> tuple:
+        """Per-channel ``(scale, shift)`` of the *eval-mode* affine form.
+
+        Evaluation-time batch norm is a per-channel affine map::
+
+            y = gamma * (x - mean) / sqrt(var + eps) + beta = scale * x + shift
+
+        The execution engine's fusion pass (:mod:`repro.engine.fuse`) folds
+        ``scale`` into the packed weight matrix of the preceding convolution
+        and ``shift`` into its bias, eliminating the BatchNorm op entirely;
+        stand-alone BN ops execute the same two-term form directly.  Computed
+        in float64 so the folded float32 weights round once, not twice.
+        """
+        inv_std = 1.0 / np.sqrt(self.running_var.astype(np.float64) + self.eps)
+        scale = self.weight.data.astype(np.float64) * inv_std
+        shift = (self.bias.data.astype(np.float64)
+                 - self.running_mean.astype(np.float64) * scale)
+        return scale, shift
+
     def extra_repr(self) -> str:
         return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
 

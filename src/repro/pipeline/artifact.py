@@ -74,12 +74,16 @@ class DeployableArtifact:
             return self.model(x)
 
     def forward_raw(self, data: np.ndarray):
-        """Numpy-in / numpy-out convenience wrapper around :meth:`__call__`.
+        """Numpy-in / numpy-out inference (the serving layer's hot path).
 
-        Nested outputs (multi-scale detector heads) come back as the same
-        structure of numpy arrays; compare two calls with
+        Delegates to :meth:`repro.engine.compiler.CompiledModel.forward_raw`
+        when an engine is attached — raw arrays end to end, no per-request
+        Tensor wrapping.  Nested outputs (multi-scale detector heads) come
+        back as the same structure of numpy arrays; compare two calls with
         :func:`repro.engine.max_abs_output_diff`.
         """
+        if self.compiled is not None:
+            return self.compiled.forward_raw(data)
         from repro.engine.runner import _to_numpy
 
         return _to_numpy(self(Tensor(np.asarray(data, dtype=np.float32))))
@@ -92,8 +96,11 @@ class DeployableArtifact:
             row["quantized_bits"] = self.quantization_meta.get("bits")
         if self.compiled is not None:
             row["compiled_layers"] = self.compiled.num_compiled_layers
+            row["fused"] = bool(self.compiled.fuse)
         if self.measurement:
             row["measured_speedup"] = self.measurement.get("measured_speedup")
+            if self.measurement.get("fused_speedup"):
+                row["fused_speedup"] = self.measurement.get("fused_speedup")
         return row
 
     # ------------------------------------------------------------------ persistence
@@ -123,6 +130,10 @@ class DeployableArtifact:
             "mask_signature": self.masks.signature() if len(self.masks) else None,
             "quantization": _jsonable(self.quantization_meta),
             "compiled": self.compiled is not None,
+            # Whether the engine was compiled with the fused executor; load()
+            # re-fuses accordingly, so serving processes (InferenceService /
+            # cluster WorkerProcess) inherit the fusion decision for free.
+            "fused": bool(self.compiled is not None and self.compiled.fuse),
             "measurement": _jsonable(self.measurement),
             "metrics": _jsonable(self.metrics),
             "timings": _jsonable(self.timings),
@@ -196,8 +207,11 @@ class DeployableArtifact:
 
         compiled = None
         if meta.get("compiled"):
+            # Artifacts written before the fusion flag existed carry no
+            # "fused" entry; fall back to the spec's engine.fuse default.
+            fuse = bool(meta.get("fused", spec.engine.fuse))
             compiled = compile_model(model, masks if len(masks) else None,
-                                     apply_masks=False)
+                                     apply_masks=False, fuse=fuse)
 
         return cls(
             spec=spec,

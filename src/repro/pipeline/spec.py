@@ -187,6 +187,9 @@ class EngineSpec(_SpecNode):
     """Compilation (and optional wall-clock measurement) with the execution engine."""
 
     enabled: bool = True
+    #: Trace + fuse the compiled model (BN folding, activation epilogues,
+    #: workspace arena); recorded in the artifact and re-applied on load.
+    fuse: bool = True
     #: Also time dense vs compiled inference on the host CPU.
     measure: bool = False
     #: Input resolution of the measured forward passes.

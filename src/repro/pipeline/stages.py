@@ -174,14 +174,14 @@ class CompileStage:
         spec = context.spec
         engine = spec.engine
         context.compiled = compile_model(context.model, context.masks,
-                                         apply_masks=False)
+                                         apply_masks=False, fuse=engine.fuse)
         if engine.measure:
             # Reuses the plans compiled above; leaves the engine attached.
             context.measurement = measure_speedup(
                 context.model, masks=context.masks, repeats=engine.repeats,
                 batch=engine.batch, image_size=engine.image_size,
                 model_name=spec.model.name, seed=spec.seed,
-                compiled=context.compiled)
+                compiled=context.compiled, fuse=engine.fuse)
 
 
 class EvaluateStage:

@@ -138,7 +138,12 @@ def test_refresh_picks_up_weight_changes(rng):
         assert not np.allclose(before, after)
         model.eval()
         dense = model(x).data
-        np.testing.assert_allclose(after, dense, atol=1e-4, rtol=0)
+        # Scaling every parameter by 1.5 blows intermediate activations up by
+        # ~2x per layer; the fused executor folds BN into the conv weights,
+        # which legitimately reorders the float32 math, so the comparison must
+        # scale with the output magnitude rather than use a fixed 1e-4.
+        tolerance = 1e-5 * max(1.0, float(np.abs(dense).max()))
+        np.testing.assert_allclose(after, dense, atol=tolerance, rtol=0)
     finally:
         compiled.detach()
 

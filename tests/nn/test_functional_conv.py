@@ -119,3 +119,42 @@ class TestConvBackward:
         w.data[0, 0] = 0.0
         F.conv2d(x, w, stride=1, padding=1).sum().backward()
         assert np.abs(w.grad[0, 0]).sum() > 0
+
+
+class TestIm2colIndexCache:
+    """The gather-index cache: one build per geometry, shared fwd/bwd, bounded."""
+
+    def test_forward_and_backward_share_one_cache_entry(self, rng):
+        from repro.nn.functional import _IM2COL_INDEX_CACHE
+
+        _IM2COL_INDEX_CACHE.clear()
+        x = Tensor(rng.standard_normal((2, 3, 9, 9)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+        entries_after_first = len(_IM2COL_INDEX_CACHE)
+        assert entries_after_first >= 1
+        # A second identical forward+backward reuses every cached geometry.
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+        assert len(_IM2COL_INDEX_CACHE) == entries_after_first
+
+    def test_cached_indices_are_read_only_and_correct(self, rng):
+        from repro.nn.functional import _im2col_indices
+
+        k, i, j, (out_h, out_w) = _im2col_indices((1, 2, 6, 6), (3, 3), (1, 1), (0, 0))
+        assert (out_h, out_w) == (4, 4)
+        assert not k.flags.writeable and not i.flags.writeable
+        again = _im2col_indices((1, 2, 6, 6), (3, 3), (1, 1), (0, 0))
+        assert again[0] is k, "same geometry must return the cached arrays"
+        # The batch size is not part of the key.
+        batched = _im2col_indices((8, 2, 6, 6), (3, 3), (1, 1), (0, 0))
+        assert batched[0] is k
+
+    def test_cache_is_bounded(self):
+        from repro.nn import functional as nf
+
+        nf._IM2COL_INDEX_CACHE.clear()
+        for size in range(6, 6 + nf._IM2COL_CACHE_MAX + 20):
+            nf._im2col_indices((1, 1, size, size), (3, 3), (1, 1), (0, 0))
+        assert len(nf._IM2COL_INDEX_CACHE) <= nf._IM2COL_CACHE_MAX
