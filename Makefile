@@ -1,6 +1,8 @@
 # Developer entry points for the R-TOSS reproduction.
 #
 #   make test          tier-1 test suite (the roadmap verify command)
+#   make test-engine   engine-focused suite: compiled plans, fused executor,
+#                      int8 hot path + quantization property tests
 #   make lint          ruff check + format check (what the CI lint job runs)
 #   make smoke         end-to-end pipeline run from the example RunSpec
 #                      (prune → quantize → compile → evaluate + artifact reload)
@@ -23,10 +25,14 @@ export PYTHONPATH
 
 SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
 
-.PHONY: test lint smoke serve-smoke cluster-smoke bench bench-check docs-check
+.PHONY: test test-engine lint smoke serve-smoke cluster-smoke bench bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-engine:
+	$(PYTHON) -m pytest -x -q tests/engine tests/test_quantization_properties.py \
+		tests/pipeline/test_int8_determinism.py tests/serving/test_cluster_int8.py
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks tools examples

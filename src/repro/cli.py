@@ -112,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--no-fuse", action="store_true",
                         help="disable the traced/fused executor (measure the "
                              "eager per-layer engine only)")
+    engine.add_argument("--int8", action="store_true",
+                        help="also lower quantized convolutions to the integer "
+                             "hot path (uint8 x int8 GEMM) and report the "
+                             "quantized speedup + output error vs the fp32 "
+                             "fused path")
     engine.add_argument("--plans", action="store_true",
                         help="also print the per-layer compiled plan table")
 
@@ -294,6 +299,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if args.batch < 1:
         print("error: --batch must be at least 1", file=sys.stderr)
         return 2
+    if args.int8 and args.no_fuse:
+        print("error: --int8 needs the fused executor; drop --no-fuse",
+              file=sys.stderr)
+        return 2
     set_global_seed(args.seed)
     model = _build_cli_model(args)
     pruner = _build_pruner(args.framework, args.seed)
@@ -302,7 +311,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     measurement = measure_speedup(
         model, masks=report.masks, repeats=args.repeats,
         batch=args.batch, image_size=args.image_size, model_name=args.model,
-        seed=args.seed, fuse=not args.no_fuse,
+        seed=args.seed, fuse=not args.no_fuse, int8=args.int8,
     )
 
     # Modeled (analytical) latency for the same pruned model, with the measured
@@ -315,13 +324,19 @@ def _cmd_engine(args: argparse.Namespace) -> int:
 
     if args.plans:
         compiled = compile_model(model, report.masks, apply_masks=False,
-                                 fuse=not args.no_fuse)
+                                 fuse=not args.no_fuse, int8=args.int8)
         if not args.no_fuse:
             # One forward traces + fuses, so the table shows the modes that
-            # actually execute (e.g. "sparse-im2col-gemm+bn+silu").
-            compiled.forward_raw(
-                np.zeros((1, 3, args.image_size, args.image_size), dtype=np.float32))
+            # actually execute (e.g. "sparse-im2col-gemm+bn+silu+int8").  The
+            # int8 lowering calibrates on the probe, so it must carry signal
+            # (an all-zero probe would record empty activation ranges).
+            probe = np.random.default_rng(args.seed).standard_normal(
+                (1, 3, args.image_size, args.image_size)).astype(np.float32)
+            compiled.forward_raw(probe)
         print(format_table(compiled.summary(), title="Compiled layer plans"))
+        if args.int8 and compiled.int8_failure:
+            print(f"note: int8 lowering unavailable ({compiled.int8_failure}); "
+                  "the float fused path served")
         compiled.detach()
         print()
     print(format_table([measurement.row()],

@@ -60,8 +60,15 @@ def quantize_tensor(weights: np.ndarray, bits: int = 8) -> QuantizedTensor:
     flat = weights.reshape(out_channels, -1)
     max_code = 2 ** (bits - 1) - 1
     max_abs = np.abs(flat).max(axis=1)
-    scales = np.where(max_abs > 0, max_abs / max_code, 1.0).astype(np.float32)
+    # A channel is "dead" when its scale would not survive as a normal float32:
+    # fully pruned channels (max_abs == 0) and subnormal stragglers whose
+    # max_abs / max_code underflows.  Without the guard the division below
+    # produces inf codes that clip to +-max_code — a dead channel would
+    # dequantize to garbage instead of exact zeros.
+    dead = max_abs <= max_code * np.finfo(np.float32).tiny
+    scales = np.where(dead, 1.0, max_abs / max_code).astype(np.float32)
     codes = np.clip(np.round(flat / scales[:, None]), -max_code - 1, max_code)
+    codes[dead] = 0.0
     return QuantizedTensor(codes.reshape(weights.shape).astype(np.int32), scales, bits,
                            weights.shape)
 

@@ -17,8 +17,15 @@ package makes pruning pay off at inference time on the host CPU:
   allocations in steady-state fused inference,
 * :mod:`repro.engine.runner` — :class:`BatchRunner`, the batched front door
   used by the evaluator and the CLI (reused staging buffer, padded tail batch),
+* :mod:`repro.engine.quant` — int8 lowering pass: :func:`lower_int8` rewrites
+  a float fused program so quantized convolutions execute as true integer
+  GEMMs (uint8 activation codes x int8 weight codes) with dequantization,
+  BatchNorm and the activation folded into one epilogue,
+* :mod:`repro.engine.native` — optional AVX-512 VNNI C kernel backing the
+  int8 path (compiled on first use, silently absent on other hosts),
 * :mod:`repro.engine.bench` — :func:`measure_speedup`, wall-clock dense vs
-  eager-compiled vs fused comparison with built-in output-equivalence checks.
+  eager-compiled vs fused (vs int8) comparison with built-in
+  output-equivalence checks.
 
 Quick use::
 
@@ -35,11 +42,19 @@ from repro.engine.arena import WorkspaceArena
 from repro.engine.bench import (
     EngineMeasurement,
     max_abs_output_diff,
+    mean_abs_output_diff,
     measure_speedup,
     time_callable,
 )
 from repro.engine.compiler import CompiledModel, compile_model
 from repro.engine.fuse import FusedProgram, fuse_graph
+from repro.engine.native import native_available
+from repro.engine.quant import (
+    QuantFusedConv,
+    QuantLoweringError,
+    calibrate_activation_scales,
+    lower_int8,
+)
 from repro.engine.plan import (
     ConvPlan,
     compile_conv_plan,
@@ -57,16 +72,22 @@ __all__ = [
     "EngineMeasurement",
     "FusedProgram",
     "GraphPlan",
+    "QuantFusedConv",
+    "QuantLoweringError",
     "RunnerStats",
     "TraceError",
     "WorkspaceArena",
+    "calibrate_activation_scales",
     "compile_conv_plan",
     "compile_model",
     "execute_plan",
     "fuse_graph",
     "layout_cache_stats",
+    "lower_int8",
     "max_abs_output_diff",
+    "mean_abs_output_diff",
     "measure_speedup",
+    "native_available",
     "reset_layout_cache_stats",
     "time_callable",
     "trace_graph",

@@ -62,6 +62,17 @@ class EngineMeasurement:
     total_columns: int = 0
     #: Wall-clock of the fused executor (0.0 when fusion was off/unavailable).
     fused_seconds: float = 0.0
+    #: Wall-clock of the int8 fused executor (0.0 when not measured/lowered).
+    quantized_seconds: float = 0.0
+    #: Mean |int8 - fp32 fused| over every output element (the error budget
+    #: metric); NaN when the int8 path was not measured.
+    quantized_mean_abs_error: float = float("nan")
+    #: Max |int8 - fp32 fused| over every output element.
+    quantized_max_abs_error: float = float("nan")
+    #: Which integer GEMM kernel executed ("vnni"/"fp32acc"/"int32"; "" when
+    #: the int8 path was not measured).  Regression gates only trust the
+    #: speedup when the native kernel ran.
+    int8_kernel: str = ""
     #: Layers per executed mode string, taken from the compiled summary (the
     #: plan's / fused op's own ``mode``, never a hardcoded label).
     mode_census: Dict[str, int] = field(default_factory=dict)
@@ -101,6 +112,13 @@ class EngineMeasurement:
         return self.compiled_seconds / self.fused_seconds
 
     @property
+    def quantized_speedup(self) -> float:
+        """Int8 hot path over the fp32 *fused* path (0.0 if unmeasured)."""
+        if not self.quantized_seconds or not self.fused_seconds:
+            return 0.0
+        return self.fused_seconds / self.quantized_seconds
+
+    @property
     def column_sparsity(self) -> float:
         if not self.total_columns:
             return 0.0
@@ -123,6 +141,11 @@ class EngineMeasurement:
             row["fused_speedup"] = round(self.fused_speedup, 2)
             row["fused_speedup_nograd"] = round(self.fused_nograd_speedup, 2)
             row["fusion_speedup"] = round(self.fusion_speedup, 2)
+        if self.quantized_seconds:
+            row["quantized_ms"] = round(self.quantized_seconds * 1e3, 2)
+            row["quantized_speedup"] = round(self.quantized_speedup, 2)
+            row["quantized_mean_abs_error"] = float(self.quantized_mean_abs_error)
+            row["int8_kernel"] = self.int8_kernel
         return row
 
 
@@ -139,6 +162,8 @@ def measure_speedup(
     seed: int = 0,
     compiled: Optional[CompiledModel] = None,
     fuse: bool = True,
+    int8: bool = False,
+    quantization: Optional[Dict[str, object]] = None,
 ) -> EngineMeasurement:
     """Measure dense vs compiled (and fused) inference latency on the host CPU.
 
@@ -168,6 +193,17 @@ def measure_speedup(
         across releases) and ``fused_seconds`` times the fused program.  Both
         paths are equivalence-checked against the dense output; the engine's
         ``fuse`` flag is restored to this value on return.
+    int8:
+        Also measure the int8 hot path (requires ``fuse``):
+        ``quantized_seconds`` times the integer lowering of the fused program
+        and ``quantized_mean_abs_error`` records its output deviation from the
+        fp32 fused path (the error-budget metric).  Activation scales come
+        from ``quantization`` (or the engine's stored metadata); when absent,
+        the timing batch itself calibrates them.  The engine's ``int8`` flag
+        is restored on return.
+    quantization:
+        Quantization metadata (``bits``, ``activation_scales``) forwarded to
+        :func:`compile_model` when this call compiles its own engine.
     """
     if x is None:
         rng = np.random.default_rng(seed)
@@ -197,7 +233,8 @@ def measure_speedup(
     dense_nograd_seconds = time_callable(lambda: dense_runner.run(x), repeats, warmup)
 
     if owns_compiled:
-        compiled = compile_model(model, masks, apply_masks=False, fuse=fuse)
+        compiled = compile_model(model, masks, apply_masks=False, fuse=fuse,
+                                 int8=int8, quantization=quantization)
     else:
         compiled.attach()
     try:
@@ -211,13 +248,31 @@ def measure_speedup(
         compiled_seconds = time_callable(lambda: runner.run(x), repeats, warmup)
 
         fused_seconds = 0.0
+        quantized_seconds = 0.0
+        quantized_mean = float("nan")
+        quantized_max = float("nan")
+        int8_kernel = ""
         if fuse:
+            # Time the fp32 fused path first with the int8 flag parked, so the
+            # fused baseline means the same thing whether or not int8 is on.
             compiled.fuse = True
+            compiled.int8 = False
             fused_out = runner.run(x)  # warms the trace + arena
             if compiled.fused_active:
                 max_abs_diff = max(max_abs_diff,
                                    max_abs_output_diff(fused_out, dense_out))
                 fused_seconds = time_callable(lambda: runner.run(x), repeats, warmup)
+            if int8 and compiled.fused_active:
+                compiled.int8 = True
+                if not compiled.quantization.get("activation_scales"):
+                    compiled.calibrate_int8(x)
+                quantized_out = runner.run(x)  # lowers + warms the int8 arena
+                if compiled.int8_active:
+                    quantized_mean = mean_abs_output_diff(quantized_out, fused_out)
+                    quantized_max = max_abs_output_diff(quantized_out, fused_out)
+                    quantized_seconds = time_callable(
+                        lambda: runner.run(x), repeats, warmup)
+                    int8_kernel = _int8_kernel_census(compiled._int8_program)
 
         mode_census: Dict[str, int] = {}
         for layer_row in compiled.summary():
@@ -237,13 +292,29 @@ def measure_speedup(
             kept_columns=compiled.kept_columns(),
             total_columns=compiled.total_columns(),
             fused_seconds=fused_seconds,
+            quantized_seconds=quantized_seconds,
+            quantized_mean_abs_error=quantized_mean,
+            quantized_max_abs_error=quantized_max,
+            int8_kernel=int8_kernel,
             mode_census=mode_census,
         )
     finally:
         compiled.fuse = fuse
+        compiled.int8 = int8
         if owns_compiled:
             compiled.detach()
     return measurement
+
+
+def _int8_kernel_census(program) -> str:
+    """Which integer GEMM kernel(s) an int8 program executed with."""
+    from repro.engine.quant import FORCE_GEMM_KERNEL, QuantFusedConv
+    if program is None:
+        return ""
+    kernels = {FORCE_GEMM_KERNEL or op.gemm_kernel
+               for op in program.steps if isinstance(op, QuantFusedConv)}
+    kernels.discard(None)
+    return "+".join(sorted(kernels))
 
 
 def max_abs_output_diff(compiled_out, dense_out) -> float:
@@ -270,3 +341,42 @@ def max_abs_output_diff(compiled_out, dense_out) -> float:
         diffs = [max_abs_output_diff(compiled_out[key], dense_out[key]) for key in dense_out]
         return max(diffs) if diffs else 0.0
     return float("nan")
+
+
+def mean_abs_output_diff(candidate_out, reference_out) -> float:
+    """Mean absolute difference over every element of matching outputs.
+
+    The companion of :func:`max_abs_output_diff` for error *budgets*: the int8
+    path trades a bounded mean deviation for speed, and a mean is the right
+    aggregate for a budget (a max is dominated by the single worst saturated
+    code).  Structure handling matches :func:`max_abs_output_diff`; the mean
+    weights every element equally across the (possibly nested) outputs.
+    """
+    total, count = _abs_diff_sums(candidate_out, reference_out)
+    if count == 0:
+        return 0.0
+    if not np.isfinite(total):
+        return float("nan")
+    return float(total / count)
+
+
+def _abs_diff_sums(candidate, reference) -> Tuple[float, int]:
+    if isinstance(reference, np.ndarray):
+        if not isinstance(candidate, np.ndarray) or candidate.shape != reference.shape:
+            return float("nan"), 1
+        if reference.size == 0:
+            return 0.0, 0
+        diff = np.abs(np.asarray(candidate, dtype=np.float64)
+                      - np.asarray(reference, dtype=np.float64))
+        return float(diff.sum()), int(diff.size)
+    if isinstance(reference, (tuple, list)):
+        if not isinstance(candidate, (tuple, list)) or len(candidate) != len(reference):
+            return float("nan"), 1
+        pairs = [_abs_diff_sums(c, r) for c, r in zip(candidate, reference)]
+        return sum(p[0] for p in pairs), sum(p[1] for p in pairs)
+    if isinstance(reference, dict):
+        if not isinstance(candidate, dict) or set(candidate) != set(reference):
+            return float("nan"), 1
+        pairs = [_abs_diff_sums(candidate[key], reference[key]) for key in reference]
+        return sum(p[0] for p in pairs), sum(p[1] for p in pairs)
+    return float("nan"), 1

@@ -88,7 +88,8 @@ class CompiledModel:
 
     def __init__(self, model: Module, plans: Dict[str, ConvPlan],
                  fallback_layers: List[str], mask_signature: Optional[str] = None,
-                 fuse: bool = True) -> None:
+                 fuse: bool = True, int8: bool = False,
+                 quantization: Optional[Dict[str, object]] = None) -> None:
         self.model = model
         self.plans = plans
         self.fallback_layers = fallback_layers
@@ -97,8 +98,19 @@ class CompiledModel:
         #: runtime (the benchmark measures eager-vs-fused on one engine); the
         #: traced program is kept across toggles.
         self.fuse = fuse
+        #: Whether no-grad forwards may use the int8 lowering of the fused
+        #: program (:mod:`repro.engine.quant`).  Also toggleable; requires
+        #: ``fuse``.  When lowering proves impossible (no eligible conv, 16-bit
+        #: codes, untraceable model) the float path keeps serving.
+        self.int8 = int8
+        #: Quantization metadata driving the int8 lowering: ``bits`` and (once
+        #: calibrated) ``activation_scales``.  The pipeline seeds this from the
+        #: artifact; direct users calibrate lazily on the first no-grad batch.
+        self._quantization: Dict[str, object] = dict(quantization or {})
         self._fused_program = None
         self._fuse_failed: Optional[str] = None
+        self._int8_program = None
+        self._int8_failed: Optional[str] = None
         self._fuse_lock = threading.Lock()
         self._attached = False
         self.attach()
@@ -155,6 +167,8 @@ class CompiledModel:
         with self._fuse_lock:
             self._fused_program = None
             self._fuse_failed = None
+            self._int8_program = None
+            self._int8_failed = None
         modules = dict(self.model.named_modules())
         for name, plan in list(self.plans.items()):
             layer = modules[name]
@@ -171,8 +185,8 @@ class CompiledModel:
                 plan.refresh_weights(layer)
 
     # ------------------------------------------------------------------ fusion
-    def _fused_for(self, data: np.ndarray):
-        """The fused program, traced lazily on the first no-grad forward.
+    def _float_program(self, data: np.ndarray):
+        """The float fused program, traced lazily on the first no-grad forward.
 
         Returns None when fusion is disabled or the model proved untraceable
         (logged once; the eager path keeps serving).  Concurrent first calls
@@ -201,6 +215,88 @@ class CompiledModel:
                         type(self.model).__name__, error)
             return self._fused_program
 
+    def _lower_int8(self, data: np.ndarray):
+        """The int8 program, lowered lazily from the float program.
+
+        Activation scales come from :attr:`quantization` (seeded by the
+        pipeline's build-time calibration); when absent — direct
+        ``compile_model(..., int8=True)`` use — the first no-grad batch
+        calibrates them, so the int8 path is self-contained but only
+        deterministic across processes when scales are provided up front.
+        Concurrent first calls serialize on the fuse lock; lowering failures
+        are remembered and the float program keeps serving.
+        """
+        float_program = self._float_program(data)
+        if float_program is None:
+            return None
+        from repro.engine.quant import (
+            QuantLoweringError,
+            calibrate_activation_scales,
+            lower_int8,
+        )
+
+        with self._fuse_lock:
+            if self._int8_program is None and self._int8_failed is None:
+                bits = int(self._quantization.get("bits", 8) or 8)
+                scales = self._quantization.get("activation_scales")
+                try:
+                    if not scales:
+                        scales = calibrate_activation_scales(float_program, [data])
+                        self._quantization["activation_scales"] = scales
+                    self._int8_program = lower_int8(float_program, bits, scales)
+                    logger.info(
+                        "lowered %s to int8: %d/%d convs on the integer path",
+                        type(self.model).__name__,
+                        sum(1 for mode in self._int8_program.conv_modes().values()
+                            if "+int8" in mode),
+                        len(self.plans))
+                except QuantLoweringError as error:
+                    self._int8_failed = str(error)
+                    logger.info(
+                        "int8 lowering disabled for %s (float path kept): %s",
+                        type(self.model).__name__, error)
+            return self._int8_program
+
+    def _fused_for(self, data: np.ndarray):
+        """The program no-grad forwards should run: int8 when active, else float."""
+        if self.fuse and self.int8:
+            program = self._int8_program
+            if program is None and self._int8_failed is None:
+                program = self._lower_int8(data)
+            if program is not None:
+                return program
+        return self._float_program(data)
+
+    def calibrate_int8(self, data: np.ndarray) -> Dict[str, Dict[str, float]]:
+        """Calibrate activation scales on ``data`` and arm the int8 lowering.
+
+        Runs the float fused program with observers installed, stores the
+        per-layer activation ranges into :attr:`quantization` and drops any
+        previously lowered int8 program so the next no-grad forward lowers
+        against the new scales.  Returns the scales (the pipeline persists
+        them into the artifact so reloads lower deterministically).
+        """
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        if not self._attached:
+            self.attach()
+        if self.model.training:
+            self.model.eval()
+        with no_grad():
+            program = self._float_program(data)
+        if program is None:
+            raise RuntimeError(
+                "cannot calibrate int8 scales: the model has no fused program "
+                f"({self._fuse_failed or 'fusion disabled'})")
+        from repro.engine.quant import calibrate_activation_scales
+
+        with no_grad():
+            scales = calibrate_activation_scales(program, [data])
+        with self._fuse_lock:
+            self._quantization["activation_scales"] = scales
+            self._int8_program = None
+            self._int8_failed = None
+        return scales
+
     @property
     def fused_active(self) -> bool:
         """True once a fused program has been traced and is in use."""
@@ -211,13 +307,40 @@ class CompiledModel:
         """Why tracing failed (None while fused or not yet attempted)."""
         return self._fuse_failed
 
+    @property
+    def int8_active(self) -> bool:
+        """True once the int8 lowering exists and no-grad forwards use it."""
+        return self.fuse and self.int8 and self._int8_program is not None
+
+    @property
+    def int8_failure(self) -> Optional[str]:
+        """Why int8 lowering failed (None while lowered or not yet attempted)."""
+        return self._int8_failed
+
+    @property
+    def engine_mode(self) -> str:
+        """Which executor no-grad forwards currently run: int8/fused/eager."""
+        if self.int8_active:
+            return "int8"
+        if self.fused_active:
+            return "fused"
+        return "eager"
+
+    @property
+    def quantization(self) -> Dict[str, object]:
+        """Quantization metadata (bits, calibrated activation scales)."""
+        return self._quantization
+
     def arena_stats(self) -> Dict[str, int]:
-        """Aggregated workspace-arena counters of the fused executor."""
-        program = self._fused_program
-        if program is None:
-            return {"hits": 0, "misses": 0, "buffers": 0,
-                    "bytes_allocated": 0, "arenas": 0}
-        return program.arena_stats()
+        """Aggregated workspace-arena counters across both fused executors."""
+        totals = {"hits": 0, "misses": 0, "buffers": 0,
+                  "bytes_allocated": 0, "arenas": 0}
+        for program in (self._fused_program, self._int8_program):
+            if program is None:
+                continue
+            for key, value in program.arena_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------ inference
     def __call__(self, x) -> Tensor:
@@ -262,8 +385,9 @@ class CompiledModel:
         executes: once fused, a folded layer shows e.g.
         ``sparse-im2col-gemm+bn+silu`` instead of the eager plan label.
         """
-        fused_modes = (self._fused_program.conv_modes()
-                       if self.fused_active and self._fused_program is not None else {})
+        active = (self._int8_program if self.int8_active
+                  else self._fused_program if self.fused_active else None)
+        fused_modes = active.conv_modes() if active is not None else {}
         rows = []
         for name, plan in self.plans.items():
             row = plan.summary()
@@ -294,7 +418,9 @@ def _wrap_tensors(value):
 
 
 def compile_model(model: Module, masks: Optional[MaskSet] = None,
-                  apply_masks: bool = True, fuse: bool = True) -> CompiledModel:
+                  apply_masks: bool = True, fuse: bool = True,
+                  int8: bool = False,
+                  quantization: Optional[Dict[str, object]] = None) -> CompiledModel:
     """Compile a (pruned) model for pattern-aware sparse inference.
 
     Parameters
@@ -315,6 +441,16 @@ def compile_model(model: Module, masks: Optional[MaskSet] = None,
         Enable the traced/fused executor for no-grad inference (BN folding,
         activation epilogues, workspace arena).  The trace happens lazily on
         the first no-grad forward; untraceable models keep the eager path.
+    int8:
+        Additionally lower the fused program to the integer hot path
+        (:mod:`repro.engine.quant`): int8 weight codes in the packed layout,
+        integer GEMMs, dequant+BN+activation fused into one epilogue.  Needs
+        ``fuse``; when lowering is impossible the float fused path serves.
+    quantization:
+        Quantization metadata for the int8 lowering — ``bits`` and optionally
+        pre-calibrated ``activation_scales`` (the pipeline passes the
+        artifact's).  Without scales the first no-grad batch calibrates them
+        (see :meth:`CompiledModel.calibrate_int8`).
     """
     mask_signature = None
     if masks is not None:
@@ -333,7 +469,8 @@ def compile_model(model: Module, masks: Optional[MaskSet] = None,
         plans[name] = compile_conv_plan(module, name)
 
     model.eval()
-    compiled = CompiledModel(model, plans, fallback, mask_signature, fuse=fuse)
+    compiled = CompiledModel(model, plans, fallback, mask_signature, fuse=fuse,
+                             int8=int8, quantization=quantization)
     logger.info(
         "compiled %d conv layers (%d dense fallbacks): %d/%d im2col columns kept",
         compiled.num_compiled_layers, len(fallback),

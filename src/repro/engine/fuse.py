@@ -154,7 +154,7 @@ class FusedConv(_FusedOp):
     """A compiled convolution with optionally folded BN and activation epilogue."""
 
     __slots__ = ("plan", "weight", "bias", "act", "act_slope", "in_slot",
-                 "mode", "layer_name", "dense_gather")
+                 "mode", "layer_name", "dense_gather", "observer")
 
     def __init__(self, node: OpNode, plan: ConvPlan) -> None:
         super().__init__(node)
@@ -165,6 +165,11 @@ class FusedConv(_FusedOp):
         self.bias = None if plan.bias is None else plan.bias.astype(np.float32)
         self.act: Optional[str] = None
         self.act_slope: Optional[float] = None
+        #: Optional calibration hook ``observer(stage, layer_name, array)``
+        #: called with the conv input ("in"), the post-bias GEMM output ("pre")
+        #: and the post-activation output ("post").  None in steady state, so
+        #: the hot path pays one attribute check per stage.
+        self.observer = None
         self.mode = plan.mode
         # When pruning dropped no column at all, the gather is dense: a strided
         # window view copies straight into the column buffer with no index math.
@@ -188,6 +193,8 @@ class FusedConv(_FusedOp):
     # --------------------------------------------------------------- execution
     def execute(self, values, arena) -> None:
         data = _contiguous(values[self.in_slot], arena, (self.key, "in"))
+        if self.observer is not None:
+            self.observer("in", self.layer_name, data)
         n, c, h, w = data.shape
         plan = self.plan
         out_channels = plan.out_channels
@@ -213,7 +220,11 @@ class FusedConv(_FusedOp):
         np.matmul(self.weight, gemm_in, out=out)
         if self.bias is not None:
             out += self.bias.reshape(1, -1, 1)
+        if self.observer is not None:
+            self.observer("pre", self.layer_name, out)
         self._epilogue(out, arena)
+        if self.observer is not None:
+            self.observer("post", self.layer_name, out)
         values[self.out_slot] = out.reshape(n, out_channels, out_h, out_w)
 
     def _epilogue(self, buf: np.ndarray, arena: WorkspaceArena) -> None:

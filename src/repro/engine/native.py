@@ -1,0 +1,334 @@
+"""Optional AVX-512 VNNI kernel for the int8 fused hot path.
+
+The portable integer GEMM kernels in :mod:`repro.engine.quant` go through
+numpy, whose integer matmul has no SIMD backend — on most hosts it cannot beat
+the float32 BLAS path it is supposed to replace.  This module provides the
+kernel that can: a small C source (embedded below) compiled on first use with
+the host compiler into a shared library exposing
+
+``qconv_vnni(x, wpack, alpha, beta, act, slope, out_kind, inv_out_scale,
+out, rows, kp, op)``
+    One fused quantized convolution tile: ``rows x kp`` unsigned-int8
+    activation codes times a packed ``op x kp`` signed-int8 weight matrix,
+    accumulated in int32 by ``vpdpbusd`` (AVX-512 VNNI), with the entire
+    dequant + bias + activation (+ requantize) epilogue applied in registers
+    before anything is stored.  ``out_kind`` 0 stores float32 ``(rows, op)``;
+    1 stores biased uint8 codes for an int8→int8 layer edge.
+
+The weight layout is the standard VNNI tiling ``[op/16][kp/4][16][4]``
+(16 output channels x 4 reduction lanes per 64-byte vector), produced by
+``w.reshape(op//16, 16, kp//4, 4).transpose(0, 2, 1, 3)``.
+
+Design constraints:
+
+* **Zero hard dependency.**  Everything degrades silently: no compiler, a
+  compile error, a CPU without AVX512-VNNI (checked at *runtime* via
+  ``__builtin_cpu_supports``, so a binary cache copied to an older machine
+  still refuses cleanly), or ``REPRO_NO_NATIVE=1`` all yield ``None`` from
+  :func:`load_native` and the caller falls back to the numpy kernels.
+* **Build once.**  The shared library is cached under ``.cache/native/`` at
+  the repository root (or the system temp dir when the tree is read-only),
+  keyed by a hash of the source and compile flags; concurrent builders (e.g.
+  forked serving workers warming up together) race safely through an atomic
+  ``os.replace`` of a per-process temp file.
+* **Determinism.**  The C SiLU uses a polynomial ``exp`` (~1e-7 relative
+  accuracy), which is *not* bit-identical to numpy's.  Callers therefore pick
+  the native kernel statically (available → use it), never by timing it
+  against the numpy kernels: a timing race must not decide numerics.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+log = logging.getLogger(__name__)
+
+#: Environment switch: set to a non-empty value to disable the native kernel
+#: (tests use it to pin the portable numpy path).
+DISABLE_ENV = "REPRO_NO_NATIVE"
+
+#: Compile flags. VNNI instructions are guarded at runtime by
+#: ``igemm_supported``; the flags only need the *compiler* to accept them.
+CFLAGS = ("-O3", "-mavx512f", "-mavx512bw", "-mavx512vnni", "-shared", "-fPIC")
+
+_SOURCE = r"""
+#include <immintrin.h>
+#include <stdint.h>
+
+int igemm_supported(void) {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx512f")
+        && __builtin_cpu_supports("avx512bw")
+        && __builtin_cpu_supports("avx512vnni");
+}
+
+/* Cephes-style vectorized expf, ~1e-7 relative accuracy.  The upper clamp
+ * must keep the biased exponent below 255: 88.0 -> n <= 127, so the 2^n
+ * scale stays finite and the Newton step in silu_ps never sees inf*0. */
+static inline __m512 exp_ps(__m512 x) {
+    const __m512 log2e  = _mm512_set1_ps(1.44269504088896341f);
+    const __m512 ln2_hi = _mm512_set1_ps(0.693359375f);
+    const __m512 ln2_lo = _mm512_set1_ps(-2.12194440e-4f);
+    x = _mm512_min_ps(x, _mm512_set1_ps(88.0f));
+    x = _mm512_max_ps(x, _mm512_set1_ps(-87.3365478515625f));
+    __m512 n = _mm512_roundscale_ps(_mm512_mul_ps(x, log2e),
+                                    _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    x = _mm512_fnmadd_ps(n, ln2_hi, x);
+    x = _mm512_fnmadd_ps(n, ln2_lo, x);
+    __m512 p = _mm512_set1_ps(1.9875691500e-4f);
+    p = _mm512_fmadd_ps(p, x, _mm512_set1_ps(1.3981999507e-3f));
+    p = _mm512_fmadd_ps(p, x, _mm512_set1_ps(8.3334519073e-3f));
+    p = _mm512_fmadd_ps(p, x, _mm512_set1_ps(4.1665795894e-2f));
+    p = _mm512_fmadd_ps(p, x, _mm512_set1_ps(1.6666665459e-1f));
+    p = _mm512_fmadd_ps(p, x, _mm512_set1_ps(5.0000001201e-1f));
+    p = _mm512_fmadd_ps(p, _mm512_mul_ps(x, x),
+                        _mm512_add_ps(x, _mm512_set1_ps(1.0f)));
+    __m512i pow2 = _mm512_slli_epi32(
+        _mm512_add_epi32(_mm512_cvtps_epi32(n), _mm512_set1_epi32(127)), 23);
+    return _mm512_mul_ps(p, _mm512_castsi512_ps(pow2));
+}
+
+/* x * sigmoid(x); the reciprocal is rcp14 + one Newton-Raphson step. */
+static inline __m512 silu_ps(__m512 x) {
+    __m512 d = _mm512_add_ps(exp_ps(_mm512_sub_ps(_mm512_setzero_ps(), x)),
+                             _mm512_set1_ps(1.0f));
+    __m512 r = _mm512_rcp14_ps(d);
+    r = _mm512_mul_ps(r, _mm512_fnmadd_ps(d, r, _mm512_set1_ps(2.0f)));
+    return _mm512_mul_ps(x, r);
+}
+
+/* act: 0 identity, 1 relu, 2 leaky_relu(slope), 3 silu. */
+static inline __m512 apply_act(__m512 v, int act, __m512 slope) {
+    if (act == 1) return _mm512_max_ps(v, _mm512_setzero_ps());
+    if (act == 2) {
+        __mmask16 neg = _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_LT_OQ);
+        return _mm512_mask_mul_ps(v, neg, v, slope);
+    }
+    if (act == 3) return silu_ps(v);
+    return v;
+}
+
+/* Fused quantized conv tile: int8 GEMM (u8 activations x packed s8 weights,
+ * vpdpbusd) with the dequant+bias+activation(+requant) epilogue applied in
+ * registers.  out_kind 0: float32 (rows, op); out_kind 1: u8 biased codes. */
+void qconv_vnni(const uint8_t *x, const int8_t *wpack,
+                const float *alpha, const float *beta,
+                int act, float slope_s, int out_kind, float inv_out_scale,
+                void *out, int64_t rows, int64_t kp, int64_t op) {
+    const int64_t kb = kp / 4;
+    const int64_t ob = op / 16;
+    const __m512 slope = _mm512_set1_ps(slope_s);
+    const __m512 invs = _mm512_set1_ps(inv_out_scale);
+    const __m512 bias128 = _mm512_set1_ps(128.0f);
+    const __m512i lo = _mm512_set1_epi32(1), hi = _mm512_set1_epi32(255);
+    float *outf = (float *)out;
+    uint8_t *outq = (uint8_t *)out;
+    int64_t r = 0;
+    for (; r + 4 <= rows; r += 4) {
+        const uint8_t *x0 = x + r * kp, *x1 = x0 + kp, *x2 = x1 + kp, *x3 = x2 + kp;
+        for (int64_t b = 0; b < ob; b++) {
+            const int8_t *w = wpack + b * kb * 64;
+            __m512i a0 = _mm512_setzero_si512(), a1 = a0, a2 = a0, a3 = a0;
+            for (int64_t k = 0; k < kb; k++) {
+                const __m512i wt = _mm512_loadu_si512((const void *)(w + k * 64));
+                a0 = _mm512_dpbusd_epi32(a0, _mm512_set1_epi32(*(const int32_t *)(x0 + k * 4)), wt);
+                a1 = _mm512_dpbusd_epi32(a1, _mm512_set1_epi32(*(const int32_t *)(x1 + k * 4)), wt);
+                a2 = _mm512_dpbusd_epi32(a2, _mm512_set1_epi32(*(const int32_t *)(x2 + k * 4)), wt);
+                a3 = _mm512_dpbusd_epi32(a3, _mm512_set1_epi32(*(const int32_t *)(x3 + k * 4)), wt);
+            }
+            const __m512 al = _mm512_loadu_ps(alpha + b * 16);
+            const __m512 be = _mm512_loadu_ps(beta + b * 16);
+            __m512 v0 = apply_act(_mm512_fmadd_ps(_mm512_cvtepi32_ps(a0), al, be), act, slope);
+            __m512 v1 = apply_act(_mm512_fmadd_ps(_mm512_cvtepi32_ps(a1), al, be), act, slope);
+            __m512 v2 = apply_act(_mm512_fmadd_ps(_mm512_cvtepi32_ps(a2), al, be), act, slope);
+            __m512 v3 = apply_act(_mm512_fmadd_ps(_mm512_cvtepi32_ps(a3), al, be), act, slope);
+            if (out_kind == 0) {
+                _mm512_storeu_ps(outf + r * op + b * 16, v0);
+                _mm512_storeu_ps(outf + (r + 1) * op + b * 16, v1);
+                _mm512_storeu_ps(outf + (r + 2) * op + b * 16, v2);
+                _mm512_storeu_ps(outf + (r + 3) * op + b * 16, v3);
+            } else {
+                __m512i q0 = _mm512_cvtps_epi32(_mm512_fmadd_ps(v0, invs, bias128));
+                __m512i q1 = _mm512_cvtps_epi32(_mm512_fmadd_ps(v1, invs, bias128));
+                __m512i q2 = _mm512_cvtps_epi32(_mm512_fmadd_ps(v2, invs, bias128));
+                __m512i q3 = _mm512_cvtps_epi32(_mm512_fmadd_ps(v3, invs, bias128));
+                q0 = _mm512_max_epi32(_mm512_min_epi32(q0, hi), lo);
+                q1 = _mm512_max_epi32(_mm512_min_epi32(q1, hi), lo);
+                q2 = _mm512_max_epi32(_mm512_min_epi32(q2, hi), lo);
+                q3 = _mm512_max_epi32(_mm512_min_epi32(q3, hi), lo);
+                _mm_storeu_si128((__m128i *)(outq + r * op + b * 16), _mm512_cvtepi32_epi8(q0));
+                _mm_storeu_si128((__m128i *)(outq + (r + 1) * op + b * 16), _mm512_cvtepi32_epi8(q1));
+                _mm_storeu_si128((__m128i *)(outq + (r + 2) * op + b * 16), _mm512_cvtepi32_epi8(q2));
+                _mm_storeu_si128((__m128i *)(outq + (r + 3) * op + b * 16), _mm512_cvtepi32_epi8(q3));
+            }
+        }
+    }
+    for (; r < rows; r++) {
+        const uint8_t *xr = x + r * kp;
+        for (int64_t b = 0; b < ob; b++) {
+            const int8_t *w = wpack + b * kb * 64;
+            __m512i a0 = _mm512_setzero_si512();
+            for (int64_t k = 0; k < kb; k++) {
+                const __m512i wt = _mm512_loadu_si512((const void *)(w + k * 64));
+                a0 = _mm512_dpbusd_epi32(a0, _mm512_set1_epi32(*(const int32_t *)(xr + k * 4)), wt);
+            }
+            const __m512 al = _mm512_loadu_ps(alpha + b * 16);
+            const __m512 be = _mm512_loadu_ps(beta + b * 16);
+            __m512 v0 = apply_act(_mm512_fmadd_ps(_mm512_cvtepi32_ps(a0), al, be), act, slope);
+            if (out_kind == 0) {
+                _mm512_storeu_ps(outf + r * op + b * 16, v0);
+            } else {
+                __m512i q0 = _mm512_cvtps_epi32(_mm512_fmadd_ps(v0, invs, bias128));
+                q0 = _mm512_max_epi32(_mm512_min_epi32(q0, hi), lo);
+                _mm_storeu_si128((__m128i *)(outq + r * op + b * 16), _mm512_cvtepi32_epi8(q0));
+            }
+        }
+    }
+}
+"""
+
+#: Epilogue activation codes of ``qconv_vnni`` (module-level so the executor
+#: and tests agree on the mapping).
+ACT_CODES = {None: 0, "relu": 1, "leaky_relu": 2, "silu": 3}
+
+#: ``out_kind`` values of ``qconv_vnni``.
+OUT_REAL = 0
+OUT_CODES = 1
+
+
+class NativeQuantKernel:
+    """ctypes wrapper around the compiled VNNI library (one per process)."""
+
+    def __init__(self, lib: ctypes.CDLL, path: Path) -> None:
+        self.path = path
+        self._qconv = lib.qconv_vnni
+        self._qconv.restype = None
+        self._qconv.argtypes = [
+            ctypes.c_void_p, ctypes.c_void_p,       # x codes, packed weights
+            ctypes.c_void_p, ctypes.c_void_p,       # alpha, beta
+            ctypes.c_int, ctypes.c_float,           # act, slope
+            ctypes.c_int, ctypes.c_float,           # out_kind, 1/out_scale
+            ctypes.c_void_p,                        # out
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,  # rows, kp, op
+        ]
+
+    def qconv(self, x: np.ndarray, wpack: np.ndarray,
+              alpha: np.ndarray, beta: np.ndarray,
+              act: Optional[str], slope: Optional[float],
+              out: np.ndarray, out_scale: Optional[float]) -> None:
+        """Run one fused quantized conv tile (see module docstring).
+
+        ``x`` is ``(rows, kp)`` uint8, ``wpack`` the VNNI-tiled int8 weights,
+        ``alpha``/``beta`` per-channel float32 of length ``op``; ``out`` is
+        ``(rows, op)`` float32 when ``out_scale`` is None, else ``(rows, op)``
+        uint8 receiving biased codes.
+        """
+        rows, kp = x.shape
+        op = alpha.shape[0]
+        out_kind = OUT_REAL if out_scale is None else OUT_CODES
+        inv_scale = 0.0 if out_scale is None else 1.0 / float(out_scale)
+        self._qconv(
+            x.ctypes.data, wpack.ctypes.data,
+            alpha.ctypes.data, beta.ctypes.data,
+            ACT_CODES[act], float(slope or 0.0),
+            out_kind, inv_scale,
+            out.ctypes.data, rows, kp, op)
+
+
+_load_lock = threading.Lock()
+_loaded = False
+_kernel: Optional[NativeQuantKernel] = None
+
+
+def _cache_dir() -> Path:
+    """Build-cache directory: repo-root ``.cache/native`` or the temp dir."""
+    try:
+        root = Path(__file__).resolve().parents[3]
+        candidate = root / ".cache" / "native"
+        candidate.mkdir(parents=True, exist_ok=True)
+        if os.access(candidate, os.W_OK):
+            return candidate
+    except OSError:
+        pass
+    fallback = Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+    fallback.mkdir(parents=True, exist_ok=True)
+    return fallback
+
+
+def _build() -> Optional[NativeQuantKernel]:
+    compiler = shutil.which("gcc") or shutil.which("cc")
+    if compiler is None:
+        log.info("native int8 kernel disabled: no C compiler on PATH")
+        return None
+    tag = hashlib.sha256(
+        (_SOURCE + " ".join(CFLAGS)).encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"qconv_vnni_{tag}.so"
+    if not so_path.exists():
+        src_path = cache / f"qconv_vnni_{tag}.c"
+        tmp_path = cache / f"qconv_vnni_{tag}.{os.getpid()}.tmp.so"
+        src_path.write_text(_SOURCE)
+        result = subprocess.run(
+            [compiler, *CFLAGS, "-o", str(tmp_path), str(src_path)],
+            capture_output=True, text=True)
+        if result.returncode != 0:
+            log.info("native int8 kernel disabled: compile failed: %s",
+                     result.stderr.strip()[:500])
+            return None
+        # Atomic publish: concurrent builders (forked serving workers) each
+        # compile to a private temp file; the last rename wins harmlessly.
+        os.replace(tmp_path, so_path)
+    lib = ctypes.CDLL(str(so_path))
+    lib.igemm_supported.restype = ctypes.c_int
+    lib.igemm_supported.argtypes = []
+    if not lib.igemm_supported():
+        log.info("native int8 kernel disabled: CPU lacks AVX512-VNNI")
+        return None
+    return NativeQuantKernel(lib, so_path)
+
+
+def load_native() -> Optional[NativeQuantKernel]:
+    """The process-wide native kernel, or ``None`` when unavailable.
+
+    The first call builds (or loads from cache) the shared library; every
+    outcome — including failure — is cached for the life of the process.
+    Thread-safe.  Set ``REPRO_NO_NATIVE=1`` to force ``None``.
+    """
+    global _loaded, _kernel
+    if os.environ.get(DISABLE_ENV):
+        return None
+    if _loaded:
+        return _kernel
+    with _load_lock:
+        if not _loaded:
+            try:
+                _kernel = _build()
+            except Exception as exc:  # noqa: BLE001 - degrade, never crash
+                log.info("native int8 kernel disabled: %s", exc)
+                _kernel = None
+            _loaded = True
+    return _kernel
+
+
+def native_available() -> bool:
+    """Whether the fused VNNI kernel is usable in this process."""
+    return load_native() is not None
+
+
+def reset_native_cache() -> None:
+    """Forget the cached load outcome (tests toggling ``REPRO_NO_NATIVE``)."""
+    global _loaded, _kernel
+    with _load_lock:
+        _loaded = False
+        _kernel = None

@@ -97,6 +97,7 @@ class DeployableArtifact:
         if self.compiled is not None:
             row["compiled_layers"] = self.compiled.num_compiled_layers
             row["fused"] = bool(self.compiled.fuse)
+            row["int8"] = bool(self.compiled.int8)
         if self.measurement:
             row["measured_speedup"] = self.measurement.get("measured_speedup")
             if self.measurement.get("fused_speedup"):
@@ -134,6 +135,10 @@ class DeployableArtifact:
             # re-fuses accordingly, so serving processes (InferenceService /
             # cluster WorkerProcess) inherit the fusion decision for free.
             "fused": bool(self.compiled is not None and self.compiled.fuse),
+            # Same contract for the integer hot path: the calibrated activation
+            # scales travel inside "quantization", so load() re-lowers into the
+            # exact int8 program this run executed.
+            "int8": bool(self.compiled is not None and self.compiled.int8),
             "measurement": _jsonable(self.measurement),
             "metrics": _jsonable(self.metrics),
             "timings": _jsonable(self.timings),
@@ -210,8 +215,10 @@ class DeployableArtifact:
             # Artifacts written before the fusion flag existed carry no
             # "fused" entry; fall back to the spec's engine.fuse default.
             fuse = bool(meta.get("fused", spec.engine.fuse))
+            int8 = bool(meta.get("int8", False))
             compiled = compile_model(model, masks if len(masks) else None,
-                                     apply_masks=False, fuse=fuse)
+                                     apply_masks=False, fuse=fuse, int8=int8,
+                                     quantization=meta.get("quantization"))
 
         return cls(
             spec=spec,

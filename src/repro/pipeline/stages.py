@@ -173,15 +173,44 @@ class CompileStage:
 
         spec = context.spec
         engine = spec.engine
-        context.compiled = compile_model(context.model, context.masks,
-                                         apply_masks=False, fuse=engine.fuse)
+        context.compiled = compile_model(
+            context.model, context.masks, apply_masks=False, fuse=engine.fuse,
+            int8=engine.int8, quantization=context.quantization_meta)
+        if engine.int8:
+            self._calibrate_int8(context)
         if engine.measure:
             # Reuses the plans compiled above; leaves the engine attached.
             context.measurement = measure_speedup(
                 context.model, masks=context.masks, repeats=engine.repeats,
                 batch=engine.batch, image_size=engine.image_size,
                 model_name=spec.model.name, seed=spec.seed,
-                compiled=context.compiled, fuse=engine.fuse)
+                compiled=context.compiled, fuse=engine.fuse,
+                int8=engine.int8, quantization=context.compiled.quantization)
+
+    @staticmethod
+    def _calibrate_int8(context: PipelineContext) -> None:
+        """Calibrate activation scales on a seeded batch and persist them.
+
+        The calibration batch is derived from ``spec.seed`` alone, so two runs
+        of the same spec record identical scales and ``load()`` re-fuses the
+        artifact into a bit-identical integer path (no data-dependent drift).
+        Pre-calibrated scales (e.g. a re-run seeded from an artifact) win.
+        """
+        spec = context.spec
+        engine = spec.engine
+        meta = dict(context.quantization_meta or {})
+        if not meta.get("activation_scales"):
+            rng = np.random.default_rng(spec.seed)
+            batch = rng.standard_normal(
+                (engine.batch, 3, engine.image_size, engine.image_size)
+            ).astype(np.float32)
+            try:
+                scales = context.compiled.calibrate_int8(batch)
+            except RuntimeError:  # no fused program (e.g. untraceable model)
+                return
+            meta["activation_scales"] = scales
+        meta.setdefault("bits", int(context.compiled.quantization.get("bits", 8) or 8))
+        context.quantization_meta = meta
 
 
 class EvaluateStage:

@@ -94,6 +94,19 @@ class PooledModel:
         self.run(probe)
         self._warmed = True
 
+    @property
+    def engine_mode(self) -> str:
+        """Executor this entry serves through: ``int8``/``fused``/``eager``/``dense``."""
+        from repro.engine.compiler import CompiledModel
+
+        target = self.model
+        compiled = getattr(target, "compiled", None)    # DeployableArtifact unwrap
+        if compiled is not None:
+            target = compiled
+        if isinstance(target, CompiledModel):
+            return target.engine_mode
+        return "dense"
+
     def default_image_shape(self) -> Tuple[int, int, int]:
         """Best-effort ``(C, H, W)`` warmup shape for the served model."""
         spec = getattr(self.model, "spec", None)
@@ -231,3 +244,9 @@ class ModelPool:
         with self._lock:
             return {"resident": len(self._entries), "capacity": self.capacity,
                     "hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    def engine_modes(self) -> Dict[str, str]:
+        """Executor mode of each resident model, keyed by its short name."""
+        with self._lock:
+            return {key.rsplit("/", 1)[-1]: entry.engine_mode
+                    for key, entry in self._entries.items()}

@@ -201,6 +201,14 @@ class InferenceService:
         """Serving metrics + pool statistics + the effective batch policy."""
         report = dict(self.metrics.report())
         report["pool"] = self.pool.stats()
+        # Executor mode per served model (int8/fused/eager/dense).  Cluster
+        # workers relay this report, so `repro serve --workers N` shows which
+        # path each process actually serves through.
+        modes = self.pool.engine_modes()
+        with self._lock:
+            for key, pinned in self._pinned.items():
+                modes[key.rsplit("/", 1)[-1]] = pinned.engine_mode
+        report["engine_modes"] = modes
         report["policy"] = {
             "max_batch_size": self.policy.max_batch_size,
             "max_wait_ms": self.policy.max_wait_ms,
