@@ -28,6 +28,7 @@ reproducibility.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -57,6 +58,7 @@ from repro.utils.serialization import save_state_dict
 # Deprecated: the framework-factory table now lives in repro.pruning.registry.
 # This mapping is kept so `from repro.cli import FRAMEWORKS` keeps working; use
 # `repro.pruning.registry.build_framework(name)` in new code.
+# Write-once at import, read-only afterwards.  # reprolint: disable=mutable-global
 FRAMEWORKS = {name: (lambda name=name: build_framework(name))
               for name in available_frameworks()}
 
@@ -159,6 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list available models")
     sub.add_parser("frameworks", help="list available pruning frameworks")
+
+    # `repro lint` is listed here for -h discoverability only; main() forwards
+    # its arguments verbatim to tools.reprolint before argparse runs (argparse
+    # REMAINDER cannot capture leading --flags).
+    sub.add_parser(
+        "lint",
+        help="project-aware static analysis (tools.reprolint)",
+        description="Run the reprolint checkers (lock discipline, hot-path "
+                    "allocation, fork/thread hygiene) over the repo. "
+                    "All arguments are passed through to "
+                    "`python -m tools.reprolint` (paths, --write-baseline, "
+                    "--json, --list-rules, ...).")
     return parser
 
 
@@ -543,7 +557,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(lint_args: Sequence[str]) -> int:
+    """Run tools.reprolint in-process (it is stdlib-only and import-cheap).
+
+    ``repro`` is importable from anywhere, but ``tools.reprolint`` lives in
+    the repo tree, not in ``src/``: fall back to the current directory (the
+    documented place to run ``repro lint`` from) when it is not already
+    importable.
+    """
+    try:
+        from tools.reprolint.__main__ import main as reprolint_main
+    except ImportError:
+        candidate = os.path.join(os.getcwd(), "tools", "reprolint")
+        if not os.path.isdir(candidate):
+            print("repro lint: cannot import tools.reprolint -- run from the "
+                  "repository root (where the tools/ directory lives)",
+                  file=sys.stderr)
+            return 2
+        sys.path.insert(0, os.getcwd())
+        from tools.reprolint.__main__ import main as reprolint_main
+    return reprolint_main(list(lint_args))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        return _cmd_lint(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "models":
         return _cmd_models()
@@ -561,6 +600,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_engine(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

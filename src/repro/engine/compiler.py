@@ -86,6 +86,18 @@ class CompiledModel:
     :class:`repro.serving.pool.ModelPool`.
     """
 
+    # reprolint lock-discipline contract: traced/lowered program state is
+    # built lazily by whichever no-grad forward gets there first and mutates
+    # only under the fuse lock.  Lifecycle flags (`_attached`) are
+    # single-writer by the contract above and stay undeclared.
+    _guarded_by_ = {
+        "_fused_program": "_fuse_lock",
+        "_fuse_failed": "_fuse_lock",
+        "_int8_program": "_fuse_lock",
+        "_int8_failed": "_fuse_lock",
+        "_quantization": "_fuse_lock",
+    }
+
     def __init__(self, model: Module, plans: Dict[str, ConvPlan],
                  fallback_layers: List[str], mask_signature: Optional[str] = None,
                  fuse: bool = True, int8: bool = False,

@@ -610,6 +610,10 @@ def _sole_consumer(slot: int, consumers: Dict[int, int],
 class FusedProgram:
     """An executable fused graph: flat op list + per-thread workspace arenas."""
 
+    # reprolint lock-discipline contract: the weak-arena list is shared by
+    # every serving thread's first forward and mutates only under its lock.
+    _guarded_by_ = {"_arenas": "_arena_lock"}
+
     def __init__(self, graph: GraphPlan, steps: List[_FusedOp],
                  bucket_safe: bool = True) -> None:
         self.graph = graph
@@ -647,7 +651,7 @@ class FusedProgram:
         return merge_stats(arenas)
 
     # --------------------------------------------------------------- execution
-    def run(self, data: np.ndarray):
+    def run(self, data: np.ndarray):  # reprolint: hot
         """Execute the fused program on raw NCHW input.
 
         When every model output provably carries the batch on axis 0
@@ -664,7 +668,10 @@ class FusedProgram:
         slices to concurrent clients) can hold them across later forwards.
         """
         arena = self._arena()
-        data = np.ascontiguousarray(data, dtype=np.float32)
+        # Input normalization: already-contiguous float32 input (the serving
+        # batcher's stacked batches) is a no-op view, anything else is a
+        # one-off boundary copy before the zero-alloc steady state begins.
+        data = np.ascontiguousarray(data, dtype=np.float32)  # reprolint: disable=hot-path-alloc
         count = data.shape[0]
         bucket = 1 << max(0, count - 1).bit_length()
         padded = self.bucket_safe and bucket != count
@@ -684,6 +691,9 @@ class FusedProgram:
                 op.execute(values, arena)
         return fill_template(
             self.graph.output_template,
+            # Mandatory copy-out: results must never alias arena buffers (the
+            # next forward overwrites them under the caller's feet).
+            # reprolint: disable=hot-path-alloc
             lambda slot: np.array(values[slot][:count] if padded else values[slot],
                                   dtype=np.float32, copy=True))
 

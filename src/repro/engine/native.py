@@ -251,6 +251,23 @@ _loaded = False
 _kernel: Optional[NativeQuantKernel] = None
 
 
+def _reinit_after_fork() -> None:
+    """Fork-safety for the loader lock (engine/plan.py pattern).
+
+    A child forked while the parent is inside :func:`load_native` (compiling
+    or dlopen-ing the kernel) inherits ``_load_lock`` held and would deadlock
+    on its own first load.  Only the lock is re-armed: a completed load
+    (``_loaded``/``_kernel``) stays valid — the dlopen'd library lives in the
+    child's address space too.
+    """
+    global _load_lock
+    _load_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def _cache_dir() -> Path:
     """Build-cache directory: repo-root ``.cache/native`` or the temp dir."""
     try:

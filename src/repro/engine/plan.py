@@ -36,7 +36,7 @@ import hashlib
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import ClassVar, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -93,8 +93,9 @@ def _reinit_after_fork() -> None:
     """
     global _STATS_LOCK
     _STATS_LOCK = threading.Lock()
-    _GLOBAL_CACHE_STATS.hits = 0
-    _GLOBAL_CACHE_STATS.misses = 0
+    # The forked child is single-threaded: bare stores are race-free here.
+    _GLOBAL_CACHE_STATS.hits = 0    # reprolint: disable=lock-discipline
+    _GLOBAL_CACHE_STATS.misses = 0  # reprolint: disable=lock-discipline
 
 
 if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
@@ -150,6 +151,10 @@ class ConvPlan:
     # (the serving layer runs BatchRunner from several threads) build each
     # layout exactly once; cache-hit reads stay lock-free.
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    # reprolint lock-discipline contract: the layout cache may only be written
+    # under the plan lock (cache-hit *reads* stay lock-free by design).
+    _guarded_by_: ClassVar[Dict[str, str]] = {"_layouts": "_lock"}
 
     # ------------------------------------------------------------------ statistics
     @property
@@ -216,12 +221,13 @@ class ConvPlan:
         """
         cached = self._layouts.get(input_shape)
         if cached is not None:
-            _GLOBAL_CACHE_STATS.hits += 1
+            # Deliberately lock-free hit counting (see _GLOBAL_CACHE_STATS).
+            _GLOBAL_CACHE_STATS.hits += 1  # reprolint: disable=lock-discipline
             return cached
         with self._lock:
             cached = self._layouts.get(input_shape)
             if cached is not None:
-                _GLOBAL_CACHE_STATS.hits += 1
+                _GLOBAL_CACHE_STATS.hits += 1  # reprolint: disable=lock-discipline
                 return cached
             layout = self._build_layout(input_shape)
             self._layouts[input_shape] = layout
@@ -269,12 +275,13 @@ class ConvPlan:
         key = ("fused",) + tuple(input_shape)
         cached = self._layouts.get(key)
         if cached is not None:
-            _GLOBAL_CACHE_STATS.hits += 1
+            # Deliberately lock-free hit counting (see _GLOBAL_CACHE_STATS).
+            _GLOBAL_CACHE_STATS.hits += 1  # reprolint: disable=lock-discipline
             return cached
         with self._lock:
             cached = self._layouts.get(key)
             if cached is not None:
-                _GLOBAL_CACHE_STATS.hits += 1
+                _GLOBAL_CACHE_STATS.hits += 1  # reprolint: disable=lock-discipline
                 return cached
             layout = self._build_fused_layout(input_shape)
             self._layouts[key] = layout

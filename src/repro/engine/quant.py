@@ -69,6 +69,7 @@ exact kernel computes them).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -109,6 +110,24 @@ _CALIBRATION_MAX_ROWS = 4096
 
 _kernel_cache: Dict[Tuple[int, int, int], str] = {}
 _kernel_lock = threading.Lock()
+
+
+def _reinit_after_fork() -> None:
+    """Fork-safety for the kernel-selection cache (engine/plan.py pattern).
+
+    The Router restarts dead workers by forking while parent threads may sit
+    inside :func:`select_gemm_kernel`'s timing probe holding ``_kernel_lock``;
+    the child would deadlock on its first quantized conv.  Fresh lock, empty
+    cache — micro-calibration timings measured in the parent do not transfer
+    to the child's core anyway.
+    """
+    global _kernel_lock
+    _kernel_lock = threading.Lock()
+    _kernel_cache.clear()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 class QuantLoweringError(Exception):
@@ -235,6 +254,11 @@ class QuantFusedConv(FusedConv):
                  "gemm_kernel", "kernel_forced", "_nhwc_layouts",
                  "_layout_lock")
 
+    # reprolint lock-discipline contract: the NHWC gather-layout cache fills
+    # under its lock.  `gemm_kernel` is deliberately *not* declared guarded:
+    # its single post-init write is idempotent under concurrent first calls.
+    _guarded_by_ = {"_nhwc_layouts": "_layout_lock"}
+
     def __init__(self, base: FusedConv, bits: int, in_scale: float,
                  in_codes: bool, out_scale: Optional[float]) -> None:
         _FusedOp.__init__(self, base.node)
@@ -340,7 +364,7 @@ class QuantFusedConv(FusedConv):
         self._layout_lock = threading.Lock()
 
     # --------------------------------------------------------------- execution
-    def execute(self, values, arena) -> None:
+    def execute(self, values, arena) -> None:  # reprolint: hot
         data = values[self.in_slot]
         plan = self.plan
         if self.in_codes:
@@ -354,7 +378,6 @@ class QuantFusedConv(FusedConv):
         else:
             rows, (out_h, out_w) = self._rows_window(data, arena)
         length = out_h * out_w
-        out_channels = plan.out_channels
 
         kernel = FORCE_GEMM_KERNEL or self.gemm_kernel
         if kernel is None:

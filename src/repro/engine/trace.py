@@ -36,6 +36,7 @@ thread, so concurrent inference on other threads proceeds untouched.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -143,6 +144,26 @@ def fill_template(template: Any, resolve) -> Any:
 # --------------------------------------------------------------------- tracer
 #: Serializes traces process-wide (the glue patches are module/class-global).
 _TRACE_LOCK = threading.Lock()
+
+
+def _reinit_after_fork() -> None:
+    """Fork-safety for the trace lock (engine/plan.py pattern).
+
+    ``_TRACE_LOCK`` is held for the whole duration of a trace (scoped
+    module/class patching), which is plenty of time for a cluster worker
+    restart to fork underneath it; the child would then deadlock on its first
+    ``trace_module`` (e.g. warming a freshly loaded artifact).  The child is
+    single-threaded, so no trace is actually in progress there: re-arm the
+    lock.  (A fork exactly mid-trace would also inherit the scoped patches;
+    the serving cluster forks workers before serving traffic, and a child
+    that does re-trace merely records through the patched glue again.)
+    """
+    global _TRACE_LOCK
+    _TRACE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 class _Tracer:

@@ -9,7 +9,9 @@ pruning runs four times.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+import threading
+from typing import Dict, List, Tuple
 
 from repro.evaluation.accuracy_proxy import baseline_map_for
 from repro.evaluation.comparison import compare_frameworks
@@ -19,33 +21,57 @@ from repro.models import retinanet_resnet50, yolov5s
 from repro.pruning.registry import paper_suite
 
 _CACHE: Dict[Tuple[str, int], List[FrameworkResult]] = {}
+# Serializes the compute-and-fill path: figure drivers run from a thread pool,
+# and an unguarded check-then-set both tears the dict and recomputes the
+# 36 M-parameter suite once per racing thread.  Holding the lock across the
+# computation is deliberate — duplicate suite runs cost minutes, lock waits
+# cost nothing by comparison.
+_CACHE_LOCK = threading.Lock()
+
+
+def _reinit_after_fork() -> None:
+    """Fork-safety (engine/plan.py pattern): fresh lock, parent's results kept
+    (they are immutable once computed and valid in the child)."""
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 def comparison_results(model_key: str = "yolov5s", image_size: int = 640,
                        probe_size: int = 64, refresh: bool = False) -> List[FrameworkResult]:
-    """Framework-comparison results for one model (cached per process)."""
+    """Framework-comparison results for one model (cached per process).
+
+    Thread-safe: concurrent first calls for the same key serialize on the
+    cache lock and the suite is computed exactly once.
+    """
     key = (model_key, image_size)
-    if not refresh and key in _CACHE:
-        return _CACHE[key]
+    with _CACHE_LOCK:
+        if not refresh and key in _CACHE:
+            return _CACHE[key]
 
-    if model_key == "yolov5s":
-        evaluator = DetectorEvaluator(lambda: yolov5s(), "yolov5s",
-                                      baseline_map_for("yolov5s"),
-                                      image_size=image_size, probe_size=probe_size)
-        suite = paper_suite()
-    elif model_key == "retinanet":
-        evaluator = DetectorEvaluator(lambda: retinanet_resnet50(), "retinanet",
-                                      baseline_map_for("retinanet"),
-                                      image_size=image_size, probe_size=probe_size)
-        suite = paper_suite(dense_layer_names=RETINANET_DENSE_LAYERS)
-    else:
-        raise KeyError(f"comparison suite covers 'yolov5s' and 'retinanet', not {model_key!r}")
+        if model_key == "yolov5s":
+            evaluator = DetectorEvaluator(lambda: yolov5s(), "yolov5s",
+                                          baseline_map_for("yolov5s"),
+                                          image_size=image_size, probe_size=probe_size)
+            suite = paper_suite()
+        elif model_key == "retinanet":
+            evaluator = DetectorEvaluator(lambda: retinanet_resnet50(), "retinanet",
+                                          baseline_map_for("retinanet"),
+                                          image_size=image_size, probe_size=probe_size)
+            suite = paper_suite(dense_layer_names=RETINANET_DENSE_LAYERS)
+        else:
+            raise KeyError(
+                f"comparison suite covers 'yolov5s' and 'retinanet', not {model_key!r}")
 
-    results = compare_frameworks(evaluator, suite)
-    _CACHE[key] = results
-    return results
+        results = compare_frameworks(evaluator, suite)
+        _CACHE[key] = results
+        return results
 
 
 def clear_cache() -> None:
     """Drop all cached comparison results (used by tests)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()

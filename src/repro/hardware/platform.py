@@ -105,6 +105,7 @@ JETSON_TX2 = PlatformSpec(
     layer_type_efficiency={"conv": 1.0, "linear": 0.18, "attention": 0.12, "norm": 0.4},
 )
 
+# Write-once lookup table of immutable specs.  # reprolint: disable=mutable-global
 PLATFORMS: Dict[str, PlatformSpec] = {
     "rtx_2080ti": RTX_2080TI,
     "jetson_tx2": JETSON_TX2,

@@ -33,6 +33,7 @@ class DetectorReference:
 
 
 # Table 1: two-stage vs single-stage comparison (COCO numbers quoted by the paper).
+# Write-once reference data, never mutated.  # reprolint: disable=mutable-global
 TABLE1_REFERENCES: List[DetectorReference] = [
     DetectorReference("R-CNN", "two-stage", paper_map=42.0, paper_fps=0.02),
     DetectorReference("Fast R-CNN", "two-stage", paper_map=19.7, paper_fps=0.5),
@@ -45,6 +46,7 @@ TABLE1_REFERENCES: List[DetectorReference] = [
 ]
 
 # Table 2: model size vs Jetson TX2 execution time.
+# Write-once reference data, never mutated.  # reprolint: disable=mutable-global
 TABLE2_REFERENCES: List[DetectorReference] = [
     DetectorReference("YOLOv5", "single-stage", paper_parameters_millions=7.02,
                       paper_tx2_execution_seconds=0.7415, registry_name="yolov5s"),

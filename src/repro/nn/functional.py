@@ -8,6 +8,7 @@ which is the only way to get acceptable throughput out of pure numpy.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Optional, Sequence, Tuple, Union
 
@@ -35,6 +36,23 @@ def _pair(value: IntOrPair) -> Tuple[int, int]:
 _IM2COL_INDEX_CACHE: dict = {}
 _IM2COL_CACHE_LOCK = threading.Lock()
 _IM2COL_CACHE_MAX = 128
+
+
+def _reinit_after_fork() -> None:
+    """Re-arm the im2col cache for forked children (engine/plan.py pattern).
+
+    A cluster worker forked while another thread sits inside the cache-insert
+    critical section would inherit ``_IM2COL_CACHE_LOCK`` held (deadlock on the
+    child's first conv backward) and a possibly torn cache dict.  Fresh lock,
+    empty cache: entries are cheap to rebuild and describe parent traffic.
+    """
+    global _IM2COL_CACHE_LOCK
+    _IM2COL_CACHE_LOCK = threading.Lock()
+    _IM2COL_INDEX_CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-import)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 def _im2col_cache_stats() -> Tuple[int, int]:

@@ -85,6 +85,7 @@ class Softmax(Module):
         return f"axis={self.axis}"
 
 
+# Import-time dispatch table, read-only afterwards.  # reprolint: disable=mutable-global
 _ACTIVATIONS = {
     "relu": ReLU,
     "leaky_relu": LeakyReLU,

@@ -170,6 +170,14 @@ class DynamicBatcher:
         the future's result.
     """
 
+    # reprolint lock-discipline contract: queue state mutates only under the
+    # batcher lock (both Conditions wrap the same lock).
+    _guarded_by_ = {
+        "_queue": ("_lock", "_work_available", "_space_available"),
+        "_closed": ("_lock", "_work_available", "_space_available"),
+        "_image_shape": ("_lock", "_work_available", "_space_available"),
+    }
+
     def __init__(
         self,
         run_batch: Callable[[np.ndarray], Any],

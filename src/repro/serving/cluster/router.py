@@ -106,6 +106,8 @@ class ModelAffinityPolicy:
         raise WorkerUnavailableError("no live workers to route to")
 
 
+# Write-once policy table (checked against the spec below, never mutated).
+# reprolint: disable=mutable-global
 ROUTING_POLICIES: Dict[str, Callable[[], Any]] = {
     "round-robin": RoundRobinPolicy,
     "least-outstanding": LeastOutstandingPolicy,
@@ -160,6 +162,17 @@ class Router:
         error, and once every slot is abandoned submits raise instead of
         blocking forever.
     """
+
+    # reprolint lock-discipline contract: state shared between client threads,
+    # the monitor, and redispatch threads mutates only under `_lock`
+    # (`_worker_available` is a Condition over the same lock).
+    _guarded_by_ = {
+        "_workers": ("_lock", "_worker_available"),
+        "_closed": ("_lock", "_worker_available"),
+        "_abandoned": ("_lock", "_worker_available"),
+        "_failures": ("_lock", "_worker_available"),
+        "last_fatal_error": ("_lock", "_worker_available"),
+    }
 
     def __init__(
         self,
@@ -376,15 +389,20 @@ class Router:
         if worker.channel is not None:
             worker.channel.close()
         pending = worker.take_outstanding()
-        if worker.fatal_error:
-            self.last_fatal_error = worker.fatal_error
 
-        # A slot that keeps dying right after start (broken artifact, import
-        # failure, ...) would otherwise hot-loop fork+load attempts forever.
-        self._failures[slot] = (
-            self._failures.get(slot, 0) + 1 if uptime < self.min_worker_uptime else 1
-        )
-        abandon = self.restart and self._failures[slot] > self.max_restart_attempts
+        # Failure bookkeeping belongs under the router lock: _dispatch reads
+        # last_fatal_error/_abandoned under it on the every-slot-failed path,
+        # so a bare store here could publish a torn view to a failing client.
+        with self._lock:
+            if worker.fatal_error:
+                self.last_fatal_error = worker.fatal_error
+            # A slot that keeps dying right after start (broken artifact,
+            # import failure, ...) would otherwise hot-loop fork+load forever.
+            self._failures[slot] = (
+                self._failures.get(slot, 0) + 1 if uptime < self.min_worker_uptime else 1
+            )
+            failures = self._failures[slot]
+        abandon = self.restart and failures > self.max_restart_attempts
 
         replacement: Optional[WorkerProcess] = None
         if self.restart and not abandon:
@@ -409,7 +427,7 @@ class Router:
             if abandon:
                 logger.error(
                     "worker slot %d died %d times within %.1fs of start; giving up (%s)",
-                    slot, self._failures[slot], self.min_worker_uptime,
+                    slot, failures, self.min_worker_uptime,
                     self.last_fatal_error or "no fatal error reported",
                 )
             detail = f": {self.last_fatal_error}" if self.last_fatal_error else ""

@@ -250,6 +250,16 @@ class WorkerProcess:
         ``fork`` on Linux; override with ``REPRO_CLUSTER_START_METHOD``).
     """
 
+    # reprolint lock-discipline contract: the in-flight request table and the
+    # admission flag are shared between submitters, the receiver thread, and
+    # the Router's recovery path (`_space` is a Condition over `_lock`).
+    # Heartbeat/stats fields are single-writer (receiver thread) by contract
+    # and stay unguarded.
+    _guarded_by_ = {
+        "_outstanding": ("_lock", "_space"),
+        "_accepting": ("_lock", "_space"),
+    }
+
     _ids = itertools.count()
 
     def __init__(

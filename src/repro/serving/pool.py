@@ -137,6 +137,16 @@ class ModelPool:
         :meth:`DeployableArtifact.load`); tests substitute counting loaders.
     """
 
+    # reprolint lock-discipline contract: LRU state and counters mutate only
+    # under the pool lock.
+    _guarded_by_ = {
+        "_entries": "_lock",
+        "_loading": "_lock",
+        "hits": "_lock",
+        "misses": "_lock",
+        "evictions": "_lock",
+    }
+
     def __init__(self, capacity: int = 2, warmup: bool = True,
                  loader: Callable[[str], DeployableArtifact] = DeployableArtifact.load) -> None:
         if capacity < 1:
@@ -214,12 +224,12 @@ class ModelPool:
             self._evict_overflow()
         return entry
 
-    def _touch(self, key: str) -> None:
+    def _touch(self, key: str) -> None:  # reprolint: holds=_lock
         """Move ``key`` to the most-recently-used end (caller holds the lock)."""
         entry = self._entries.pop(key)
         self._entries[key] = entry
 
-    def _evict_overflow(self) -> None:
+    def _evict_overflow(self) -> None:  # reprolint: holds=_lock
         while len(self._entries) > self.capacity:
             victim_key = next(iter(self._entries))
             self._entries.pop(victim_key)

@@ -89,6 +89,14 @@ class InferenceService:
         Warm served models with one forward pass before accepting traffic.
     """
 
+    # reprolint lock-discipline contract: batcher table and lifecycle flag
+    # mutate only under the service lock (after __init__).
+    _guarded_by_ = {
+        "_batchers": "_lock",
+        "_closed": "_lock",
+        "_pinned": "_lock",
+    }
+
     def __init__(
         self,
         model: Union[str, DeployableArtifact, CompiledModel, Module],

@@ -1,0 +1,14 @@
+"""Make the ``tools`` namespace package importable regardless of pytest cwd.
+
+Tier-1 runs from the repo root (where ``python -m pytest`` puts the cwd on
+``sys.path``), but editors and CI shards sometimes invoke this directory
+directly -- pin the root explicitly so ``import tools.reprolint`` always
+resolves.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))

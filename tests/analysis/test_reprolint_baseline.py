@@ -1,0 +1,56 @@
+"""Baseline serialization: line-independent keys, deduplication, stable bytes."""
+
+import json
+
+import pytest
+
+from tools.reprolint import baseline
+from tools.reprolint.core import Finding
+
+
+def make_finding(line=10, rule="mutable-global", path="src/x.py", symbol="<module>", message="m"):
+    return Finding(path=path, line=line, rule=rule, symbol=symbol, message=message)
+
+
+def test_round_trip_through_file(tmp_path):
+    findings = [
+        make_finding(line=3, message="first"),
+        make_finding(line=9, rule="lock-discipline", symbol="Pool.put", message="second"),
+    ]
+    path = tmp_path / "baseline.json"
+    baseline.write(path, findings)
+    assert baseline.load(path) == {f.key() for f in findings}
+
+
+def test_keys_exclude_line_numbers():
+    a = make_finding(line=3)
+    b = make_finding(line=300)
+    assert a.key() == b.key()
+    rendered = baseline.render([a, b])
+    assert len(json.loads(rendered)["entries"]) == 1
+    assert "line" not in rendered
+
+
+def test_render_is_order_independent_and_byte_stable():
+    findings = [
+        make_finding(message="zeta"),
+        make_finding(message="alpha"),
+        make_finding(rule="hot-path-alloc", symbol="K.run", message="mid"),
+    ]
+    forward = baseline.render(findings)
+    backward = baseline.render(list(reversed(findings)))
+    assert forward == backward
+    assert forward.endswith("\n")
+    messages = [e["message"] for e in json.loads(forward)["entries"]]
+    assert messages == sorted(messages) or len(set(messages)) == len(messages)
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    assert baseline.load(tmp_path / "nope.json") == set()
+
+
+def test_malformed_entry_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": [{"rule": "only-a-rule"}]}))
+    with pytest.raises(ValueError, match="malformed baseline entry"):
+        baseline.load(path)

@@ -1,0 +1,122 @@
+"""CLI: ``python -m tools.reprolint [paths...]`` (also behind ``repro lint``).
+
+Exit status is 0 when every finding is pragma- or baseline-suppressed, 1 when
+new findings exist, 2 on usage errors.  ``--json`` writes a machine-readable
+report (the CI lint job uploads it as an artifact); ``--write-baseline``
+regenerates the committed baseline from the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.reprolint import baseline as baseline_mod
+from tools.reprolint.core import all_rules
+from tools.reprolint.runner import lint_paths
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Project-aware static analysis for the R-TOSS reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro", "tools"],
+        help="files or directories to lint (default: src/repro tools)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline JSON of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every unsuppressed finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        metavar="PATH",
+        dest="json_path",
+        help="also write a JSON report (findings, new, stale) to PATH",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"{name}: {rule.description}")
+        return 0
+
+    root = Path.cwd().resolve()
+    findings, errors = lint_paths([Path(p) for p in args.paths], root)
+    for error in errors:
+        print(f"reprolint: cannot parse {error}", file=sys.stderr)
+
+    if args.write_baseline:
+        baseline_mod.write(args.baseline, findings)
+        print(
+            f"reprolint: wrote {len(findings)} entr{'y' if len(findings) == 1 else 'ies'} "
+            f"to {args.baseline}"
+        )
+        return 0
+
+    known = set() if args.no_baseline else baseline_mod.load(args.baseline)
+    new = [f for f in findings if f.key() not in known]
+    matched = {f.key() for f in findings if f.key() in known}
+    stale = sorted(known - matched)
+
+    for finding in new:
+        print(finding.render())
+    for rule, path, symbol, _message in stale:
+        print(
+            f"reprolint: stale baseline entry ({rule} {path} [{symbol}]) -- "
+            f"run `make lint-baseline` to prune",
+            file=sys.stderr,
+        )
+
+    if args.json_path:
+        report = {
+            "findings": [baseline_mod.entry_for(f) | {"line": f.line} for f in findings],
+            "new": [baseline_mod.entry_for(f) | {"line": f.line} for f in new],
+            "baseline_suppressed": len(matched),
+            "stale_baseline": [list(key) for key in stale],
+            "parse_errors": errors,
+        }
+        args.json_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    total = len(findings)
+    if new:
+        print(
+            f"reprolint: {len(new)} new finding{'s' if len(new) != 1 else ''} "
+            f"({total} total, {len(matched)} baseline-suppressed)"
+        )
+        return 1
+    print(
+        f"reprolint: clean ({total} finding{'s' if total != 1 else ''}, "
+        f"{len(matched)} baseline-suppressed, {len(stale)} stale)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

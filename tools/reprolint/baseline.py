@@ -1,0 +1,58 @@
+"""Committed-baseline handling: accepted legacy findings keyed without lines.
+
+The baseline (``tools/reprolint/baseline.json``) is a sorted, deduplicated
+list of finding keys -- ``(rule, path, symbol, message)``, no line numbers --
+so edits elsewhere in a file never invalidate it.  ``reprolint`` exits
+non-zero only for findings *not* in the baseline; entries that no longer
+match anything are reported as stale (prune them with ``make lint-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+from tools.reprolint.core import Finding
+
+BaselineKey = Tuple[str, str, str, str]
+
+_FIELDS = ("rule", "path", "symbol", "message")
+
+
+def entry_for(finding: Finding) -> Dict[str, str]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "symbol": finding.symbol,
+        "message": finding.message,
+    }
+
+
+def _entry_key(entry: Dict[str, str]) -> BaselineKey:
+    return (entry["rule"], entry["path"], entry["symbol"], entry["message"])
+
+
+def load(path: Path) -> Set[BaselineKey]:
+    """Load baseline keys; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    entries = data.get("entries", [])
+    keys = set()
+    for entry in entries:
+        if not all(field in entry for field in _FIELDS):
+            raise ValueError(f"malformed baseline entry in {path}: {entry!r}")
+        keys.add(_entry_key(entry))
+    return keys
+
+
+def render(findings: Iterable[Finding]) -> str:
+    """Serialize findings as baseline JSON: deduplicated, sorted, stable."""
+    entries = {finding.key(): entry_for(finding) for finding in findings}
+    ordered: List[Dict[str, str]] = [entries[key] for key in sorted(entries)]
+    return json.dumps({"version": 1, "entries": ordered}, indent=2, sort_keys=True) + "\n"
+
+
+def write(path: Path, findings: Iterable[Finding]) -> None:
+    path.write_text(render(findings))

@@ -1,0 +1,198 @@
+"""Core reprolint machinery: findings, the rule registry, and file context.
+
+A :class:`Finding` is identified for baseline purposes by its *key* --
+``(rule, path, symbol, message)`` -- deliberately excluding the line number so
+unrelated edits above a known finding do not invalidate the baseline.
+
+:class:`FileContext` parses one source file once (AST + per-line pragma
+directives) and is handed to every registered rule.  Pragmas:
+
+``# reprolint: disable=<rule>[,<rule>...]``
+    Suppress findings reported on this line.  A comment-only line suppresses
+    the line directly below it.
+``# reprolint: hot``
+    On a ``def`` line: register the function as hot-path (see hot-path-alloc).
+``# reprolint: holds=<lock>[,<lock>...]``
+    On a ``def`` line: the function's contract is that the caller already
+    holds these locks (lock-discipline treats the body as guarded).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.  ``key()`` is the line-independent baseline identity."""
+
+    path: str
+    line: int
+    rule: str
+    symbol: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+
+
+class Rule:
+    """Base class for checkers.  Subclasses set ``name``/``description`` and
+    implement :meth:`check`; decorate with :func:`register` to enroll."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+# Populated by @register at import time only.  # reprolint: disable=mutable-global
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator enrolling a :class:`Rule` subclass in the registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name: {cls.name}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    # Import for side effect: rule modules self-register on first use.
+    from tools.reprolint import rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*([^#]*)")
+
+
+def _parse_directives(comment: str) -> Dict[str, Set[str]]:
+    """Parse the payload of one ``# reprolint: ...`` comment.
+
+    Returns a mapping of directive name -> values, e.g.
+    ``{"disable": {"lock-discipline"}, "hot": set()}``.
+    """
+    out: Dict[str, Set[str]] = {}
+    for part in comment.split():
+        if "=" in part:
+            name, _, values = part.partition("=")
+            out.setdefault(name.strip(), set()).update(
+                v.strip() for v in values.split(",") if v.strip()
+            )
+        else:
+            out.setdefault(part.strip(), set())
+    return out
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus its pragma directives, shared by all rules."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    # line number -> parsed directives on that line
+    directives: Dict[int, Dict[str, Set[str]]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        directives: Dict[int, Dict[str, Set[str]]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _PRAGMA_RE.search(text)
+            if match:
+                directives[lineno] = _parse_directives(match.group(1))
+        return cls(path=path, source=source, tree=tree, lines=lines, directives=directives)
+
+    # ---------------------------------------------------------------- pragmas
+    def _directives_for(self, lineno: int, name: str) -> Optional[Set[str]]:
+        """Directive values attached to ``lineno``: same-line, or on a
+        comment-only line directly above."""
+        own = self.directives.get(lineno, {})
+        if name in own:
+            return own[name]
+        above = self.directives.get(lineno - 1, {})
+        if name in above and self._is_comment_only(lineno - 1):
+            return above[name]
+        return None
+
+    def _is_comment_only(self, lineno: int) -> bool:
+        if not (1 <= lineno <= len(self.lines)):
+            return False
+        return self.lines[lineno - 1].lstrip().startswith("#")
+
+    def disabled_rules(self, lineno: int) -> Set[str]:
+        values = self._directives_for(lineno, "disable")
+        return set(values) if values else set()
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        disabled = self.disabled_rules(finding.line)
+        return finding.rule in disabled or "all" in disabled
+
+    def hot_marked(self, def_lineno: int) -> bool:
+        return self._directives_for(def_lineno, "hot") is not None
+
+    def holds_locks(self, def_lineno: int) -> Set[str]:
+        values = self._directives_for(def_lineno, "holds")
+        return set(values) if values else set()
+
+
+def iter_functions(tree: ast.AST) -> Iterator[Tuple[ast.AST, str, Optional[ast.ClassDef]]]:
+    """Yield ``(func_node, qualname, enclosing_class)`` for every function.
+
+    Qualnames are dotted through classes only (``Router._recover``); nested
+    functions get ``outer.<locals>.inner`` like ``__qualname__`` does.
+    """
+
+    def visit(node: ast.AST, prefix: str, cls: Optional[ast.ClassDef]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield child, qual, cls
+                yield from visit(child, f"{qual}.<locals>.", None)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.", child)
+            else:
+                yield from visit(child, prefix, cls)
+
+    yield from visit(tree, "", None)
+
+
+def numpy_aliases(tree: ast.AST) -> Set[str]:
+    """Names the module binds to the numpy package (``np`` and friends)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def literal_is_constant(node: ast.AST) -> bool:
+    """True for containers built purely from constants (safe shared data)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return bool(node.elts) and all(literal_is_constant(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return bool(node.keys) and all(
+            k is not None and literal_is_constant(k) and literal_is_constant(v)
+            for k, v in zip(node.keys, node.values)
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return literal_is_constant(node.operand)
+    return False

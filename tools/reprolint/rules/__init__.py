@@ -1,0 +1,3 @@
+"""Rule modules self-register on import (see tools.reprolint.core.register)."""
+
+from tools.reprolint.rules import forksafety, hotpath, locks  # noqa: F401

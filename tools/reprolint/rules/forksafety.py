@@ -1,0 +1,175 @@
+"""Fork/thread hygiene for module-level state.
+
+Two rules, both motivated by the PR 4 incident class: cluster workers fork
+while engine threads may hold module locks or be mid-mutation on module
+caches, so the child inherits a poisoned lock / torn dict.
+
+``mutable-global``
+    Module-level bindings of mutable containers (dict/list/set/deque
+    displays, comprehensions, or calls to container factories) are flagged
+    unless (a) the value is a non-empty container built purely from
+    constants (read-only tables), (b) the module also defines a
+    module-level lock -- the convention that the lock guards the module's
+    caches, enforceable precisely via ``config.MODULE_GUARDED`` -- or
+    (c) the binding carries a pragma.  Empty displays are *not* exempt:
+    an empty module-level dict exists to be filled at runtime.
+
+``fork-lock-reset``
+    Any module-level ``threading.Lock()`` / ``RLock()`` / ``Condition()``
+    requires an ``os.register_at_fork`` call in the same module (the
+    plan.py ``_reinit_after_fork`` pattern) so a child forked while the
+    lock is held does not deadlock on first use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from tools.reprolint.core import FileContext, Finding, Rule, literal_is_constant, register
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+_CONTAINER_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "bytearray",
+}
+
+
+def _call_basename(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _module_bindings(tree: ast.Module) -> Iterable[Tuple[str, int, ast.AST]]:
+    """Yield ``(name, lineno, value)`` for top-level assignments (including
+    under module-level ``if``/``try`` blocks, where fallback shims live)."""
+
+    def scan(body: List[ast.stmt]):
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id, stmt.lineno, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    yield stmt.target.id, stmt.lineno, stmt.value
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                yield from scan(stmt.body)
+                yield from scan(stmt.orelse)
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        yield from scan(handler.body)
+                    yield from scan(stmt.finalbody)
+
+    yield from scan(tree.body)
+
+
+def _is_lock_call(value: ast.AST) -> bool:
+    return isinstance(value, ast.Call) and _call_basename(value) in _LOCK_FACTORIES
+
+
+def _module_has_lock(tree: ast.Module) -> bool:
+    return any(_is_lock_call(value) for _name, _line, value in _module_bindings(tree))
+
+
+def _registers_at_fork(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "register_at_fork":
+                return True
+            if isinstance(func, ast.Name) and func.id == "register_at_fork":
+                return True
+    return False
+
+
+@register
+class MutableGlobalRule(Rule):
+    name = "mutable-global"
+    description = (
+        "module-level mutable containers must be constant tables, guarded by a "
+        "module lock, or pragma'd"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if not isinstance(tree, ast.Module):
+            return
+        has_lock = _module_has_lock(tree)
+        for name, lineno, value in _module_bindings(tree):
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            kind = self._mutable_kind(value)
+            if kind is None:
+                continue
+            if literal_is_constant(value):
+                continue
+            if has_lock:
+                # Convention: a module-level lock guards the module's caches.
+                # Pair specific (global, lock) contracts in config.MODULE_GUARDED
+                # so lock-discipline enforces them site by site.
+                continue
+            yield Finding(
+                path=ctx.path,
+                line=lineno,
+                rule=self.name,
+                symbol="<module>",
+                message=(
+                    f"module-level mutable {kind} '{name}' in a lock-free module "
+                    f"(fork/thread hazard: add a module lock, make it a constant "
+                    f"table, or pragma with rationale)"
+                ),
+            )
+
+    @staticmethod
+    def _mutable_kind(value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Dict) or isinstance(value, ast.DictComp):
+            return "dict"
+        if isinstance(value, ast.List) or isinstance(value, ast.ListComp):
+            return "list"
+        if isinstance(value, ast.Set) or isinstance(value, ast.SetComp):
+            return "set"
+        if isinstance(value, ast.Call):
+            base = _call_basename(value)
+            if base in _CONTAINER_FACTORIES:
+                return base
+        return None
+
+
+@register
+class ForkLockResetRule(Rule):
+    name = "fork-lock-reset"
+    description = (
+        "module-level locks need an os.register_at_fork reset in the same "
+        "module (the engine/plan.py pattern)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if not isinstance(tree, ast.Module):
+            return
+        if _registers_at_fork(tree):
+            return
+        for name, lineno, value in _module_bindings(tree):
+            if _is_lock_call(value):
+                yield Finding(
+                    path=ctx.path,
+                    line=lineno,
+                    rule=self.name,
+                    symbol="<module>",
+                    message=(
+                        f"module-level lock '{name}' has no os.register_at_fork "
+                        f"reset; a child forked while it is held will deadlock "
+                        f"(see repro/engine/plan.py::_reinit_after_fork)"
+                    ),
+                )

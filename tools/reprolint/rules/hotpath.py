@@ -1,0 +1,118 @@
+"""hot-path-alloc: registered hot functions must not allocate fresh arrays.
+
+PR 5's fused executor promises zero steady-state allocations: every scratch
+buffer comes from the :class:`~repro.engine.arena.WorkspaceArena` and every
+kernel writes through ``out=``.  This rule makes the promise checkable.
+
+A function is *hot* when its qualname is in ``config.HOT_FUNCTIONS`` or its
+``def`` line carries ``# reprolint: hot``.  Inside a hot function (including
+nested helpers) the rule flags:
+
+* ``np.<allocator>(...)`` calls (``config.NP_ALLOCATORS``) without an
+  ``out=`` keyword (``np.array(..., copy=False)`` is an aliasing view and is
+  allowed);
+* ``.copy()`` / ``.flatten()`` / ``.tolist()`` method calls;
+* ``.astype(...)`` without ``copy=False``.
+
+``arena.buffer(...)`` is the sanctioned allocator and is never flagged.  The
+analysis is lexical: allocations hidden behind helper calls in other modules
+are out of scope (register the helper as hot instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from tools.reprolint import config
+from tools.reprolint.core import (
+    FileContext,
+    Finding,
+    Rule,
+    iter_functions,
+    numpy_aliases,
+    register,
+)
+
+
+def _has_kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _kwarg_is_false(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False
+
+
+@register
+class HotPathAllocRule(Rule):
+    name = "hot-path-alloc"
+    description = (
+        "hot-path functions (config.HOT_FUNCTIONS / `# reprolint: hot`) may not "
+        "call allocating numpy APIs; use the workspace arena or out="
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        np_names = numpy_aliases(ctx.tree)
+        for func, qual, _cls in iter_functions(ctx.tree):
+            short = qual.split(".<locals>.")[-1]
+            if not (
+                qual in config.HOT_FUNCTIONS
+                or short in config.HOT_FUNCTIONS
+                or ctx.hot_marked(func.lineno)
+            ):
+                continue
+            yield from self._check_function(ctx, func, qual, np_names)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST, qual: str, np_names: Set[str]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            # np.<allocator>(...) without out=
+            if (
+                isinstance(callee.value, ast.Name)
+                and callee.value.id in np_names
+                and callee.attr in config.NP_ALLOCATORS
+                and not _has_kwarg(node, "out")
+            ):
+                if callee.attr in ("array", "asarray") and _kwarg_is_false(node, "copy"):
+                    continue
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule=self.name,
+                    symbol=qual,
+                    message=(
+                        f"allocating call {callee.value.id}.{callee.attr}(...) in hot "
+                        f"path (write into an arena buffer via out= instead)"
+                    ),
+                )
+            # <expr>.copy() / .flatten() / .tolist() / .astype(...)
+            elif callee.attr in config.NDARRAY_ALLOC_METHODS:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule=self.name,
+                    symbol=qual,
+                    message=f"allocating method .{callee.attr}() in hot path",
+                )
+            elif callee.attr in config.NDARRAY_COPY_KW_METHODS and not _kwarg_is_false(
+                node, "copy"
+            ):
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule=self.name,
+                    symbol=qual,
+                    message=(
+                        f"allocating method .{callee.attr}(...) in hot path "
+                        f"(pass copy=False or stage through the arena)"
+                    ),
+                )

@@ -1,0 +1,273 @@
+"""lock-discipline: guarded attributes may only be mutated under their lock.
+
+A class declares guarded state either in source::
+
+    class Router:
+        # attribute -> lock attribute (or tuple: Condition aliases count too)
+        _guarded_by_ = {"_workers": ("_lock", "_worker_available")}
+
+or in ``tools.reprolint.config.GUARDED_ATTRS``.  The checker walks every
+method (``__init__`` is exempt: the object is not shared yet) tracking the
+lexical ``with self.<lock>:`` stack, and reports any store / delete /
+subscript-write / in-place-mutating method call on a guarded attribute while
+no acceptable lock is held.
+
+Helpers whose contract is "caller holds the lock" are annotated on the def
+line with ``# reprolint: holds=_lock`` -- their whole body is treated as
+holding that lock.  Module-level guarded globals come from
+``config.MODULE_GUARDED`` and require ``with <LOCK>:`` by name.
+
+Limitation (by design): the analysis is lexical.  Locks acquired via
+``lock.acquire()`` or held across call boundaries without a ``holds=``
+annotation are not seen; annotate the contract instead of restructuring.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from tools.reprolint import config
+from tools.reprolint.core import FileContext, Finding, Rule, register
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Return ``attr`` when ``node`` is ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _parse_guarded_by(cls: ast.ClassDef) -> Dict[str, Tuple[str, ...]]:
+    """Extract the ``_guarded_by_`` dict literal from a class body, if any."""
+    for stmt in cls.body:
+        targets = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "_guarded_by_":
+                return _guarded_dict(value)
+    return {}
+
+
+def _guarded_dict(value: ast.AST) -> Dict[str, Tuple[str, ...]]:
+    out: Dict[str, Tuple[str, ...]] = {}
+    if not isinstance(value, ast.Dict):
+        return out
+    for key, val in zip(value.keys, value.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if isinstance(val, ast.Constant) and isinstance(val.value, str):
+            out[key.value] = (val.value,)
+        elif isinstance(val, (ast.Tuple, ast.List)):
+            locks = tuple(
+                e.value
+                for e in val.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            )
+            if locks:
+                out[key.value] = locks
+    return out
+
+
+def _mutations(stmt: ast.AST) -> Iterable[Tuple[ast.AST, str, str]]:
+    """Yield ``(node, attr, verb)`` for guarded-relevant mutations of
+    ``self.<attr>`` performed directly by ``stmt`` (no recursion)."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield from _target_mutations(target)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        yield from _target_mutations(stmt.target)
+    elif isinstance(stmt, ast.AugAssign):
+        yield from _target_mutations(stmt.target)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            yield from _target_mutations(target)
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in config.MUTATING_METHODS:
+            attr = _self_attr(func.value)
+            if attr is not None:
+                yield stmt, attr, f".{func.attr}()"
+
+
+def _target_mutations(target: ast.AST) -> Iterable[Tuple[ast.AST, str, str]]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_mutations(elt)
+        return
+    attr = _self_attr(target)
+    if attr is not None:
+        yield target, attr, "assignment"
+        return
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            yield target, attr, "subscript store"
+
+
+def _with_locks(node: ast.With) -> Set[str]:
+    """Lock names acquired by a ``with`` statement: ``self.<name>`` items and
+    bare ``Name`` items (module-level locks)."""
+    locks: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        attr = _self_attr(expr)
+        if attr is not None:
+            locks.add(attr)
+        elif isinstance(expr, ast.Name):
+            locks.add(expr.id)
+    return locks
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "attributes declared guarded (_guarded_by_ / config table) may only be "
+        "mutated inside `with self.<lock>:`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+        findings.extend(self._check_module_globals(ctx))
+        return findings
+
+    # ------------------------------------------------------------- class scan
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef):
+        guarded = dict(config.GUARDED_ATTRS.get(cls.name, {}))
+        guarded.update(_parse_guarded_by(cls))
+        if not guarded:
+            return
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "__init__":
+                    continue
+                held = frozenset(ctx.holds_locks(stmt.lineno))
+                yield from self._walk_body(
+                    ctx, cls.name, f"{cls.name}.{stmt.name}", stmt.body, guarded, held
+                )
+
+    def _walk_body(self, ctx, cls_name, qual, body, guarded, held):
+        for stmt in body:
+            yield from self._walk_stmt(ctx, cls_name, qual, stmt, guarded, held)
+
+    def _walk_stmt(self, ctx, cls_name, qual, stmt, guarded, held):
+        for _node, attr, verb in _mutations(stmt):
+            locks = guarded.get(attr)
+            if locks and not (held & set(locks)):
+                yield Finding(
+                    path=ctx.path,
+                    line=stmt.lineno,
+                    rule=self.name,
+                    symbol=qual,
+                    message=(
+                        f"{verb} to guarded attribute self.{attr} outside "
+                        f"`with self.{locks[0]}:` ({cls_name}._guarded_by_)"
+                    ),
+                )
+        if isinstance(stmt, ast.With):
+            inner = held | _with_locks(stmt)
+            yield from self._walk_body(ctx, cls_name, qual, stmt.body, guarded, inner)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs run later, possibly without the enclosing lock:
+            # start from their own holds= annotation only.
+            inner = frozenset(ctx.holds_locks(stmt.lineno))
+            yield from self._walk_body(
+                ctx, cls_name, f"{qual}.<locals>.{stmt.name}", stmt.body, guarded, inner
+            )
+        else:
+            for field_body in _stmt_bodies(stmt):
+                yield from self._walk_body(ctx, cls_name, qual, field_body, guarded, held)
+
+    # ----------------------------------------------------- module-level scan
+    def _check_module_globals(self, ctx: FileContext):
+        table = {}
+        for suffix, names in config.MODULE_GUARDED.items():
+            if ctx.path.endswith(suffix):
+                table.update(names)
+        if not table:
+            return
+        yield from self._walk_module(ctx, ctx.tree.body, table, frozenset(), "<module>")
+
+    def _walk_module(self, ctx, body, table, held, qual):
+        for stmt in body:
+            for node, name, verb in _global_mutations(stmt, table):
+                locks = table[name]
+                if not (held & set(locks)):
+                    yield Finding(
+                        path=ctx.path,
+                        line=stmt.lineno,
+                        rule=self.name,
+                        symbol=qual,
+                        message=(
+                            f"{verb} to module-guarded {name} outside "
+                            f"`with {locks[0]}:`"
+                        ),
+                    )
+            if isinstance(stmt, ast.With):
+                inner = held | _with_locks(stmt)
+                yield from self._walk_module(ctx, stmt.body, table, inner, qual)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = frozenset(ctx.holds_locks(stmt.lineno))
+                yield from self._walk_module(ctx, stmt.body, table, inner, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._walk_module(ctx, stmt.body, table, frozenset(), stmt.name)
+            else:
+                for field_body in _stmt_bodies(stmt):
+                    yield from self._walk_module(ctx, field_body, table, held, qual)
+
+
+def _stmt_bodies(stmt: ast.AST):
+    """Nested statement lists of a compound statement (if/for/try/...)."""
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list):
+            yield block
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+
+
+def _global_mutations(stmt: ast.AST, table) -> Iterable[Tuple[ast.AST, str, str]]:
+    """Mutations of module-guarded globals: attribute stores, subscript
+    stores, and in-place mutating method calls on a tracked ``Name``."""
+
+    def tracked(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name) and node.id in table:
+            return node.id
+        return None
+
+    targets = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, ast.AugAssign):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = stmt.targets
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in config.MUTATING_METHODS:
+            name = tracked(func.value)
+            if name is not None:
+                yield stmt, name, f".{func.attr}()"
+        return
+    for target in targets:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            name = tracked(target.value)
+            if name is not None:
+                verb = "attribute store" if isinstance(target, ast.Attribute) else "subscript store"
+                yield stmt, name, verb

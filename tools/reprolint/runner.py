@@ -1,0 +1,60 @@
+"""File discovery + rule execution + pragma suppression."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from tools.reprolint.core import FileContext, Finding, all_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+
+
+def _normalize(path: Path, root: Path) -> str:
+    """Repo-relative posix path when under ``root`` (stable baseline keys),
+    absolute posix otherwise (ad-hoc targets, tmp dirs in tests)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def lint_source(source: str, path: str = "<snippet>") -> List[Finding]:
+    """Run every rule over one in-memory source string (test/fixture entry
+    point).  Pragma suppression is applied; baseline is the caller's concern."""
+    ctx = FileContext.parse(path, source)
+    findings: List[Finding] = []
+    for rule in all_rules().values():
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(paths: Iterable[Path], root: Path) -> Tuple[List[Finding], List[str]]:
+    """Lint files/trees under ``paths``.  Returns ``(findings, errors)`` --
+    errors are unparsable files (reported, not fatal: the strict ruff pass
+    owns syntax)."""
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for file_path in iter_python_files(paths):
+        rel = _normalize(file_path, root)
+        try:
+            source = file_path.read_text()
+            file_findings = lint_source(source, path=rel)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append(f"{rel}: {exc}")
+            continue
+        findings.extend(file_findings)
+    return sorted(findings), errors
