@@ -16,6 +16,11 @@
 #                      (repro.serving.cluster, 2 workers; reuses the serve-smoke
 #                      artifact when present, builds it otherwise; exits
 #                      non-zero if cluster outputs diverge from sequential)
+#   make obs-smoke     observability end-to-end: a traced serve run exporting
+#                      snapshot.json / metrics.prom / metrics.jsonl /
+#                      trace.json (Chrome trace-event format), rendered once
+#                      through `repro top`, plus a Prometheus dump via
+#                      `repro metrics` (reuses the serve-smoke artifact)
 #   make bench         paper figures/tables + measured engine/serving/cluster
 #                      speedups (writes benchmarks/BENCH_*.json)
 #   make bench-check   compare BENCH_*.json against benchmarks/baselines.json
@@ -29,7 +34,7 @@ export PYTHONPATH
 
 SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
 
-.PHONY: test test-engine lint lint-baseline smoke serve-smoke cluster-smoke bench bench-check docs-check
+.PHONY: test test-engine lint lint-baseline smoke serve-smoke cluster-smoke obs-smoke bench bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,7 +54,8 @@ test-engine:
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks tools examples
 	$(PYTHON) -m ruff check --select E4,E7,E9,F \
-		src/repro/engine src/repro/pipeline src/repro/serving/cluster tools
+		src/repro/engine src/repro/obs src/repro/pipeline \
+		src/repro/serving/cluster tools
 	$(PYTHON) -m ruff format --check src/repro/serving/cluster tools
 	$(PYTHON) -m tools.reprolint src/repro tools
 
@@ -68,6 +74,16 @@ cluster-smoke:
 		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
 	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --workers 2 --requests 24 --concurrency 4
 
+obs-smoke:
+	@test -f artifacts/serve-smoke.npz || \
+		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
+	rm -rf artifacts/obs-smoke
+	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --requests 32 --concurrency 4 --obs artifacts/obs-smoke
+	@test -f artifacts/obs-smoke/trace.json || { echo "obs-smoke: trace.json was not exported"; exit 1; }
+	$(PYTHON) -m repro.cli top --obs artifacts/obs-smoke --once
+	$(PYTHON) -m repro.cli metrics --artifact artifacts/serve-smoke.npz --requests 16 --format prom | grep -q '^repro_serving_requests_total' \
+		|| { echo "obs-smoke: Prometheus export is missing repro_serving_requests_total"; exit 1; }
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
@@ -82,6 +98,7 @@ docs-check:
 	@test -f docs/serving.md || { echo "docs-check: docs/serving.md is missing"; exit 1; }
 	@test -f docs/cluster.md || { echo "docs-check: docs/cluster.md is missing"; exit 1; }
 	@test -f docs/analysis.md || { echo "docs-check: docs/analysis.md is missing"; exit 1; }
+	@test -f docs/observability.md || { echo "docs-check: docs/observability.md is missing"; exit 1; }
 	@missing=0; \
 	for pkg in src/repro/*/; do \
 		name=$$(basename $$pkg); \

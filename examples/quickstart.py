@@ -100,6 +100,29 @@ def main() -> None:
           f"restarts {cluster['restarts']}, "
           f"p99 {cluster['latency']['p99_ms']:.1f} ms")
 
+    # 6. Watch it: arm tracing, replay a short load, and read what the obs
+    #    plane collected — per-request span timelines (queue-wait → execute →
+    #    postprocess, with per-op engine timings attached) plus the unified
+    #    metrics registry (see docs/observability.md; `repro serve --obs DIR`
+    #    exports the same data to files and `repro top` renders it live).
+    from repro.obs import get_registry, get_trace_buffer, set_tracing
+
+    set_tracing(True)
+    with InferenceService(restored,
+                          policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0)) as service:
+        closed_loop(service, images, requests=16, concurrency=4)
+    set_tracing(False)
+    trace = get_trace_buffer().traces()[-1]
+    execute = next(span for span in trace.spans if span.name == "worker-execute")
+    top_op, top_ms = next(iter(execute.args["ops_ms"].items()))
+    print(f"traced {len(get_trace_buffer())} requests; trace {trace.trace_id}: "
+          + " → ".join(f"{span.name} {span.duration * 1e3:.2f} ms"
+                       for span in trace.spans)
+          + f"; hottest engine op {top_op} ({top_ms:.2f} ms)")
+    prometheus = get_registry().to_prometheus()
+    print(f"metrics registry: {len(prometheus.splitlines())} Prometheus lines "
+          f"(`repro metrics` / `repro serve --obs` export these)")
+
 
 if __name__ == "__main__":
     main()

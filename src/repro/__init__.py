@@ -16,7 +16,10 @@ Object Detection using Semi-Structured Pruning* (DAC 2023), including:
   the staged ``Pipeline`` orchestrator (prune → quantize → compile → evaluate) and
   single-file ``DeployableArtifact`` results (see docs/pipeline.md),
 * ``repro.pruning.registry`` — the decorator-based framework registry the pipeline,
-  CLI and comparison suite all resolve pruners through.
+  CLI and comparison suite all resolve pruners through,
+* ``repro.obs`` — observability for the serving runtime: unified metrics registry,
+  cross-process request tracing, per-op engine profiler and the ``repro top``
+  dashboard (see docs/observability.md).
 """
 
 from repro.version import __version__

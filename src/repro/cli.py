@@ -16,8 +16,19 @@ Commands
               load and print a p50/p95/p99 latency + throughput report.
               ``--workers N`` (N > 1) serves through the multi-process cluster
               (:mod:`repro.serving.cluster`) instead, sharding across cores.
+``metrics``   Drive a short in-process load against an artifact and dump the
+              unified obs registry (:mod:`repro.obs.registry`) as Prometheus
+              text or JSON lines.
+``top``       Live terminal dashboard (:mod:`repro.obs.top`): per-worker rps,
+              latency percentiles, queue depth, restarts and engine mode —
+              either tailing the ``snapshot.json`` a concurrent
+              ``repro serve --obs DIR`` refreshes, or self-driving a demo load
+              against an artifact.
 ``models``    List the models available in the registry with their parameter counts.
 ``frameworks``  List the pruning frameworks available in the registry.
+
+Every command accepts ``--log-json`` (or ``REPRO_LOG_JSON=1``) to switch the
+library logs to JSON lines with automatic ``trace_id`` correlation.
 
 ``prune``, ``compare`` and ``engine`` are thin wrappers over the same machinery
 the pipeline uses; ``--framework`` choices come from
@@ -66,11 +77,20 @@ FRAMEWORKS = {name: (lambda name=name: build_framework(name))
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit library logs as JSON lines (with trace_id "
+                             "correlation); also via REPRO_LOG_JSON=1")
+    # Accept --log-json after the subcommand too (`repro serve ... --log-json`).
+    # SUPPRESS keeps the subparser from clobbering a pre-subcommand flag with
+    # its own default during the second parsing pass.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--log-json", action="store_true",
+                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="command", required=True)
     framework_choices = available_frameworks()
 
     run = sub.add_parser(
-        "run", help="execute a deployment pipeline from a JSON RunSpec")
+        "run", help="execute a deployment pipeline from a JSON RunSpec", parents=[common])
     run.add_argument("--spec", required=True, help="path to the RunSpec JSON file")
     run.add_argument("--artifact", default=None,
                      help="where to write the DeployableArtifact "
@@ -82,7 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--per-layer", action="store_true",
                      help="print the per-layer pruning table")
 
-    prune = sub.add_parser("prune", help="prune a model and print the report")
+    prune = sub.add_parser("prune", help="prune a model and print the report", parents=[common])
     prune.add_argument("--model", default="yolov5s", help="registry model name")
     prune.add_argument("--framework", default="rtoss-3ep", choices=framework_choices)
     prune.add_argument("--classes", type=int, default=3)
@@ -92,16 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--save", default=None, help="path to save the pruned state dict")
     prune.add_argument("--per-layer", action="store_true", help="print the per-layer table")
 
-    census = sub.add_parser("census", help="kernel-size census of a model")
+    census = sub.add_parser("census", help="kernel-size census of a model", parents=[common])
     census.add_argument("--model", default="yolov5s")
 
-    compare = sub.add_parser("compare", help="framework comparison (Figs. 4-7)")
+    compare = sub.add_parser("compare", help="framework comparison (Figs. 4-7)", parents=[common])
     compare.add_argument("--model", default="yolov5s")
     compare.add_argument("--image-size", type=int, default=640)
     compare.add_argument("--seed", type=int, default=0, help="reproducibility seed")
 
     engine = sub.add_parser(
-        "engine", help="measured dense-vs-compiled inference speedup (repro.engine)")
+        "engine", help="measured dense-vs-compiled inference speedup (repro.engine)", parents=[common])
     engine.add_argument("--model", default="tiny",
                         help="registry model name (tiny is fast; larger models take longer)")
     engine.add_argument("--framework", default="rtoss-2ep", choices=framework_choices)
@@ -121,10 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "fused path")
     engine.add_argument("--plans", action="store_true",
                         help="also print the per-layer compiled plan table")
+    engine.add_argument("--profile", action="store_true",
+                        help="print the per-op engine profile of the measured "
+                             "compiled forwards (gather/GEMM/epilogue phase "
+                             "split per conv; repro.obs.EngineProfiler)")
 
     serve = sub.add_parser(
         "serve", help="serve an artifact with dynamic micro-batching and report "
-                      "latency percentiles + throughput")
+                      "latency percentiles + throughput", parents=[common])
     serve.add_argument("--artifact", required=True,
                        help="path to a DeployableArtifact .npz (see `run`)")
     serve.add_argument("--requests", type=int, default=None,
@@ -158,9 +182,47 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-verify", action="store_true",
                        help="skip the service-vs-sequential-BatchRunner "
                             "output-equivalence check")
+    serve.add_argument("--obs", default=None, metavar="DIR",
+                       help="arm tracing and write observability artifacts to "
+                            "DIR: snapshot.json (refreshed during the load "
+                            "phase; what `repro top --obs DIR` tails), "
+                            "metrics.prom, metrics.jsonl and trace.json "
+                            "(Chrome trace-event format)")
 
-    sub.add_parser("models", help="list available models")
-    sub.add_parser("frameworks", help="list available pruning frameworks")
+    metrics = sub.add_parser(
+        "metrics", help="run a short load against an artifact and dump the "
+                        "unified obs metrics registry", parents=[common])
+    metrics.add_argument("--artifact", required=True,
+                         help="path to a DeployableArtifact .npz (see `run`)")
+    metrics.add_argument("--requests", type=int, default=32,
+                         help="load-generation requests before the dump")
+    metrics.add_argument("--concurrency", type=int, default=4,
+                         help="closed-loop client threads")
+    metrics.add_argument("--format", choices=("prom", "jsonl"), default="prom",
+                         help="Prometheus text exposition or JSON lines")
+    metrics.add_argument("--seed", type=int, default=0, help="reproducibility seed")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over serving snapshots (repro.obs.top)", parents=[common])
+    top_source = top.add_mutually_exclusive_group(required=True)
+    top_source.add_argument("--obs", default=None, metavar="DIR",
+                            help="tail DIR/snapshot.json written by a "
+                                 "concurrent `repro serve --obs DIR`")
+    top_source.add_argument("--artifact", default=None,
+                            help="self-drive a demo load against this artifact "
+                                 "and watch it live")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (CI smoke mode)")
+    top.add_argument("--plain", action="store_true",
+                     help="plain frame dumps instead of the curses view")
+    top.add_argument("--requests", type=int, default=256,
+                     help="demo-load requests (--artifact mode)")
+    top.add_argument("--seed", type=int, default=0, help="reproducibility seed")
+
+    sub.add_parser("models", help="list available models", parents=[common])
+    sub.add_parser("frameworks", help="list available pruning frameworks", parents=[common])
 
     # `repro lint` is listed here for -h discoverability only; main() forwards
     # its arguments verbatim to tools.reprolint before argparse runs (argparse
@@ -172,7 +234,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     "allocation, fork/thread hygiene) over the repo. "
                     "All arguments are passed through to "
                     "`python -m tools.reprolint` (paths, --write-baseline, "
-                    "--json, --list-rules, ...).")
+                    "--json, --list-rules, ...).", parents=[common])
     return parser
 
 
@@ -336,6 +398,33 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     modeled = estimate_latency(profile, JETSON_TX2, sparsity)
     attach_measured(modeled, measurement.compiled_seconds)
 
+    if args.profile:
+        # Per-op attribution of the compiled path: enable the EngineProfiler,
+        # run the measured batch a few times, print where the time went.
+        compiled = compile_model(model, report.masks, apply_masks=False,
+                                 fuse=not args.no_fuse, int8=args.int8)
+        probe = np.random.default_rng(args.seed).standard_normal(
+            (args.batch, 3, args.image_size, args.image_size)).astype(np.float32)
+        compiled.forward_raw(probe)          # settle attach/trace/fuse (+ int8 calib)
+        compiled.enable_profiling()
+        for _ in range(max(1, args.repeats)):
+            compiled.forward_raw(probe)
+        profile = compiled.profile()
+        compiled.detach()
+        rows = []
+        for op in profile["ops"]:
+            row = {k: op[k] for k in ("op", "kind", "mode", "calls",
+                                      "total_ms", "mean_ms", "share")}
+            phases = op.get("phases_ms")
+            if phases:
+                row["phases_ms"] = " ".join(f"{k}={v}" for k, v in phases.items())
+            rows.append(row)
+        print(format_table(
+            rows, title=f"Engine profile — {profile['model']} "
+                        f"({profile['engine_mode']} mode, {profile['runs']} runs, "
+                        f"{profile['total_ms']}ms total)"))
+        print()
+
     if args.plans:
         compiled = compile_model(model, report.masks, apply_masks=False,
                                  fuse=not args.no_fuse, int8=args.int8)
@@ -363,7 +452,87 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _write_json_atomic(path: str, payload) -> None:
+    """Replace ``path`` atomically so snapshot tailers never see a torn file."""
+    import json
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+class _ObsSession:
+    """The ``repro serve --obs DIR`` side-car: tracing + periodic snapshots.
+
+    While the load phase runs, a daemon thread rewrites ``DIR/snapshot.json``
+    (atomically) every ``interval`` seconds so a concurrent ``repro top --obs
+    DIR`` watches the run live; :meth:`finish` writes the final snapshot plus
+    ``metrics.prom``, ``metrics.jsonl`` and the Chrome-loadable ``trace.json``.
+    """
+
+    def __init__(self, directory: str, name: str, report_fn, interval: float = 0.5) -> None:
+        import threading
+
+        from repro.obs import set_tracing
+
+        self.directory = directory
+        self.name = name
+        self.report_fn = report_fn
+        self.interval = interval
+        os.makedirs(directory, exist_ok=True)
+        self._was_tracing = set_tracing(True)
+        self._stop = threading.Event()
+        self._writer = threading.Thread(
+            target=self._loop, name="repro-obs-snapshots", daemon=True)
+
+    def snapshot(self):
+        import time
+
+        from repro.obs import get_registry
+
+        return {"ts": time.time(), "name": self.name,
+                "report": self.report_fn(),
+                "metrics": get_registry().snapshot()}
+
+    def _loop(self) -> None:
+        path = os.path.join(self.directory, "snapshot.json")
+        while not self._stop.wait(self.interval):
+            try:
+                _write_json_atomic(path, self.snapshot())
+            except Exception:  # pragma: no cover - the side-car must not kill serving
+                continue
+
+    def __enter__(self) -> "_ObsSession":
+        self._writer.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        from repro.obs import get_registry, get_trace_buffer, set_tracing
+
+        self._stop.set()
+        self._writer.join(timeout=5.0)
+        registry = get_registry()
+        _write_json_atomic(os.path.join(self.directory, "snapshot.json"),
+                           self.snapshot())
+        with open(os.path.join(self.directory, "metrics.prom"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(registry.to_prometheus())
+        with open(os.path.join(self.directory, "metrics.jsonl"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(registry.to_jsonlines())
+        with open(os.path.join(self.directory, "trace.json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(get_trace_buffer().to_chrome_json())
+        set_tracing(self._was_tracing)
+        print(f"observability artifacts written to {self.directory}/ "
+              f"(snapshot.json, metrics.prom, metrics.jsonl, trace.json; "
+              f"{len(get_trace_buffer())} traces)")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.engine import BatchRunner, max_abs_output_diff
     from repro.pipeline import DeployableArtifact
     from repro.serving import (
@@ -436,8 +605,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if sequential is not None:
         # Run the check through a throwaway service so its traffic does not
-        # pollute the load-phase metrics reported below.
+        # pollute the load-phase metrics reported below — nor the obs registry
+        # (register=False keeps its short-lived series out of snapshots).
+        from repro.serving import ServingMetrics
+
         with InferenceService(artifact, policy=policy,
+                              metrics=ServingMetrics(name="verify", register=False),
                               warmup=serve_spec.warmup) as verify_service:
             served = verify_service.submit_many(images)
         diff = max_abs_output_diff(served, sequential)
@@ -453,14 +626,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with InferenceService(artifact, policy=policy, pool=pool,
                           warmup=serve_spec.warmup,
                           name=artifact.spec.name) as service:
-        if args.mode == "closed":
-            load = closed_loop(service, images, requests=requests,
-                               concurrency=concurrency)
-        else:
-            rate = args.rate if args.rate is not None else 200.0
-            load = open_loop(service, images, requests=requests, rate_hz=rate,
-                             seed=args.seed)
-        report = service.report()
+        obs = (_ObsSession(args.obs, artifact.spec.name, service.report)
+               if args.obs else nullcontext())
+        with obs:
+            if args.mode == "closed":
+                load = closed_loop(service, images, requests=requests,
+                                   concurrency=concurrency)
+            else:
+                rate = args.rate if args.rate is not None else 200.0
+                load = open_loop(service, images, requests=requests, rate_hz=rate,
+                                 seed=args.seed)
+            report = service.report()
 
     print()
     print(format_table([load.flat_row()],
@@ -488,11 +664,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequential,
                    requests: int, concurrency: int, workers: int, routing: str) -> int:
     """The ``repro serve --workers N`` (N > 1) path: drive the process cluster."""
+    from contextlib import nullcontext
+
     from repro.engine import max_abs_output_diff
     from repro.serving import closed_loop, open_loop
     from repro.serving.cluster import Router
 
     serve_spec = artifact.spec.serve
+    # Built BEFORE the Router so tracing is armed before the workers fork —
+    # children inherit the flag and record their spans (the ring/ambient
+    # state re-arms fresh per child).  The lambda resolves `router` lazily:
+    # the writer thread only starts inside the `with obs` block below.
+    obs = (_ObsSession(args.obs, artifact.spec.name, lambda: router.report())
+           if args.obs else nullcontext())
     with Router(args.artifact, workers=workers, policy=policy, routing=routing,
                 warmup=serve_spec.warmup,
                 pool_capacity=serve_spec.pool_capacity) as router:
@@ -508,14 +692,15 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
             # only (the single-worker path uses a throwaway service for this).
             router.metrics.reset()
 
-        if args.mode == "closed":
-            load = closed_loop(router, images, requests=requests,
-                               concurrency=concurrency)
-        else:
-            rate = args.rate if args.rate is not None else 200.0
-            load = open_loop(router, images, requests=requests, rate_hz=rate,
-                             seed=args.seed)
-        report = router.report()
+        with obs:
+            if args.mode == "closed":
+                load = closed_loop(router, images, requests=requests,
+                                   concurrency=concurrency)
+            else:
+                rate = args.rate if args.rate is not None else 200.0
+                load = open_loop(router, images, requests=requests, rate_hz=rate,
+                                 seed=args.seed)
+            report = router.report()
 
     print()
     print(format_table([load.flat_row()],
@@ -540,6 +725,87 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
         print(f"error: {load.failed} requests failed", file=sys.stderr)
         return 1
     return 0
+
+
+def _load_cli_artifact(path: str):
+    """Load a DeployableArtifact or print the standard CLI error (None)."""
+    from repro.pipeline import DeployableArtifact
+
+    try:
+        return DeployableArtifact.load(path)
+    except (OSError, ValueError) as error:
+        print(f"error: could not load artifact {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import get_registry
+    from repro.serving import InferenceService, closed_loop
+
+    artifact = _load_cli_artifact(args.artifact)
+    if artifact is None:
+        return 2
+    if args.requests < 1 or args.concurrency < 1:
+        print("error: --requests and --concurrency must be at least 1", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    shape = artifact.spec.framework.example_shape()
+    images = rng.standard_normal(
+        (min(args.requests, 64), *shape[1:])).astype(np.float32)
+    with InferenceService(artifact, name=artifact.spec.name) as service:
+        closed_loop(service, images, requests=args.requests,
+                    concurrency=args.concurrency)
+        registry = get_registry()
+        output = (registry.to_prometheus() if args.format == "prom"
+                  else registry.to_jsonlines())
+        print(output, end="")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    from repro.obs import get_registry
+    from repro.obs.top import TopView, file_source
+
+    if args.obs:
+        source = file_source(os.path.join(args.obs, "snapshot.json"))
+        return TopView(source, interval=args.interval).run(
+            once=args.once, plain=args.plain)
+
+    # --artifact: self-driven demo load watched live.
+    from repro.serving import InferenceService, closed_loop
+
+    artifact = _load_cli_artifact(args.artifact)
+    if artifact is None:
+        return 2
+    rng = np.random.default_rng(args.seed)
+    shape = artifact.spec.framework.example_shape()
+    images = rng.standard_normal(
+        (min(args.requests, 64), *shape[1:])).astype(np.float32)
+    with InferenceService(artifact, name=artifact.spec.name) as service:
+        finished = threading.Event()
+
+        def drive() -> None:
+            try:
+                closed_loop(service, images, requests=args.requests, concurrency=4)
+            finally:
+                finished.set()
+
+        threading.Thread(target=drive, name="repro-top-demo-load",
+                         daemon=True).start()
+
+        def source():
+            return {"ts": time.time(), "name": artifact.spec.name,
+                    "report": service.report(),
+                    "metrics": get_registry().snapshot()}
+
+        view = TopView(source, interval=args.interval)
+        if args.once:
+            finished.wait(120.0)     # one frame of the *completed* run
+            return view.run(once=True)
+        return view.run(plain=args.plain)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -584,6 +850,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv[:1] == ["lint"]:
         return _cmd_lint(argv[1:])
     args = _build_parser().parse_args(argv)
+    if getattr(args, "log_json", False):
+        from repro.utils.logging import use_json_logs
+
+        use_json_logs(True)
     if args.command == "models":
         return _cmd_models()
     if args.command == "frameworks":
@@ -600,6 +870,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_engine(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -22,7 +22,10 @@ listed in :attr:`CompiledModel.fallback_layers`.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
+from contextlib import ExitStack, contextmanager
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -36,6 +39,9 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("engine.compiler")
 
+#: Distinguishes concurrent engines in the obs registry's label sets.
+_ENGINE_SERIAL = itertools.count(1)
+
 
 def _make_forward(plan: ConvPlan, original_forward: Callable,
                   owner: "CompiledModel") -> Callable:
@@ -44,6 +50,15 @@ def _make_forward(plan: ConvPlan, original_forward: Callable,
             # Training / fine-tuning path: keep the taped dense convolution so
             # gradients stay correct even while the engine is attached.
             return original_forward(x)
+        profiler = owner._profiler
+        if profiler is not None:
+            # Eager-path profiling: per-layer attribution when the fused trace
+            # is unavailable (untraceable model or fuse=False).
+            started = time.perf_counter()
+            out = Tensor(execute_plan(plan, x.data))
+            profiler.record_op(plan.layer_name, "conv", plan.mode,
+                               time.perf_counter() - started)
+            return out
         return Tensor(execute_plan(plan, x.data))
 
     # Markers used by attach()/detach(): the plan itself, the forward the
@@ -96,6 +111,7 @@ class CompiledModel:
         "_int8_program": "_fuse_lock",
         "_int8_failed": "_fuse_lock",
         "_quantization": "_fuse_lock",
+        "_profiler": "_fuse_lock",
     }
 
     def __init__(self, model: Module, plans: Dict[str, ConvPlan],
@@ -124,8 +140,18 @@ class CompiledModel:
         self._int8_program = None
         self._int8_failed: Optional[str] = None
         self._fuse_lock = threading.Lock()
+        #: Per-op EngineProfiler (:meth:`enable_profiling`); ``None`` in
+        #: steady state so the executors keep their no-op fast branch.
+        self._profiler = None
         self._attached = False
+        self._engine_label = f"{type(model).__name__}#{next(_ENGINE_SERIAL)}"
         self.attach()
+        # Publish arena/engine-mode counters into the process metrics registry
+        # (weak collector: this engine's series vanish when it is collected).
+        from repro.obs.registry import get_registry
+
+        get_registry().register_collector(
+            f"engine.{self._engine_label}", self.collect_metrics)
 
     # ------------------------------------------------------------------ lifecycle
     def attach(self) -> None:
@@ -217,6 +243,7 @@ class CompiledModel:
                 try:
                     graph = trace_graph(self.model, data)
                     self._fused_program = fuse_graph(graph, self.plans)
+                    self._fused_program.set_profiler(self._profiler)
                     logger.info(
                         "fused %s: %d traced ops -> %d fused steps",
                         type(self.model).__name__, len(graph), len(self._fused_program))
@@ -256,6 +283,7 @@ class CompiledModel:
                         scales = calibrate_activation_scales(float_program, [data])
                         self._quantization["activation_scales"] = scales
                     self._int8_program = lower_int8(float_program, bits, scales)
+                    self._int8_program.set_profiler(self._profiler)
                     logger.info(
                         "lowered %s to int8: %d/%d convs on the integer path",
                         type(self.model).__name__,
@@ -353,6 +381,93 @@ class CompiledModel:
             for key, value in program.arena_stats().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
+
+    # ------------------------------------------------------------------ profiling
+    def enable_profiling(self):
+        """Attach a per-op :class:`repro.obs.EngineProfiler` (idempotent).
+
+        Covers every executor this engine can take: the fused fp32 program,
+        the int8 lowering, and the eager per-layer path.  Returns the profiler
+        so callers can read :meth:`repro.obs.EngineProfiler.report` directly.
+        """
+        from repro.obs.profiler import EngineProfiler
+
+        with self._fuse_lock:
+            if self._profiler is None:
+                self._profiler = EngineProfiler()
+            for program in (self._fused_program, self._int8_program):
+                if program is not None:
+                    program.set_profiler(self._profiler)
+            return self._profiler
+
+    def disable_profiling(self) -> None:
+        """Detach the profiler; the executors return to the no-op branch."""
+        with self._fuse_lock:
+            self._profiler = None
+            for program in (self._fused_program, self._int8_program):
+                if program is not None:
+                    program.set_profiler(None)
+
+    @contextmanager
+    def profiled(self):
+        """Profile just this thread's forwards, yielding a fresh profiler.
+
+        Unlike :meth:`enable_profiling` (engine-wide, sticky) this scopes a
+        :class:`repro.obs.EngineProfiler` to the calling thread via the fused
+        executors' thread-local override, so concurrent batches on the same
+        engine each get their own attribution.  Eager-path (unfused) forwards
+        are not captured — the serving hot path is always fused.
+        """
+        from repro.obs.profiler import EngineProfiler
+
+        profiler = EngineProfiler()
+        with self._fuse_lock:
+            programs = [program for program in
+                        (self._fused_program, self._int8_program)
+                        if program is not None]
+        with ExitStack() as stack:
+            for program in programs:
+                stack.enter_context(program.profiled(profiler))
+            yield profiler
+
+    def profile(self, digits: int = 3) -> Dict[str, object]:
+        """Per-op timing report of all profiled forwards since enablement.
+
+        ``{"engine_mode", "runs", "total_ms", "op_total_ms", "ops": [...]}`` —
+        each op row carries calls/total/mean/share and, for compiled convs,
+        the ``phases_ms`` gather/gemm/epilogue (fp32) or quantize/gather/gemm
+        (int8) split.  Raises ``RuntimeError`` unless :meth:`enable_profiling`
+        was called first.
+        """
+        profiler = self._profiler
+        if profiler is None:
+            raise RuntimeError(
+                "profiling is not enabled on this engine; call "
+                "enable_profiling() before profiled forwards")
+        report = profiler.report(digits=digits)
+        report["engine_mode"] = self.engine_mode
+        report["model"] = type(self.model).__name__
+        return report
+
+    def collect_metrics(self):
+        """Obs-registry collector: arena counters + engine mode gauge."""
+        from repro.obs.registry import Sample
+
+        labels = {"engine": self._engine_label}
+        stats = self.arena_stats()
+        samples = [
+            Sample("repro_engine_arena_hits_total", labels, float(stats["hits"]),
+                   "counter"),
+            Sample("repro_engine_arena_misses_total", labels, float(stats["misses"]),
+                   "counter"),
+            Sample("repro_engine_arena_bytes", labels, float(stats["bytes_allocated"]),
+                   "gauge"),
+            Sample("repro_engine_arena_buffers", labels, float(stats["buffers"]),
+                   "gauge"),
+        ]
+        mode_labels = dict(labels, mode=self.engine_mode)
+        samples.append(Sample("repro_engine_mode", mode_labels, 1.0, "gauge"))
+        return samples
 
     # ------------------------------------------------------------------ inference
     def __call__(self, x) -> Tensor:

@@ -34,7 +34,9 @@ executing thread checks out its own :class:`~repro.engine.arena.WorkspaceArena`
 from __future__ import annotations
 
 import threading
+import time
 import weakref
+from contextlib import contextmanager
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -149,6 +151,27 @@ class _FusedOp:
                 arena: WorkspaceArena) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # Profiled-mode execution: only reached when an EngineProfiler is
+    # attached, so the timing calls never touch the steady-state hot path.
+    # Subclasses with an internal pipeline (the convs) override this to
+    # attribute time to their phases.
+
+    def profile_name(self) -> str:
+        return self.node.name or f"{self.node.kind}#{self.key}"
+
+    def op_kind(self) -> str:
+        return self.node.kind
+
+    def profile_mode(self) -> str:
+        return getattr(self, "mode", "")
+
+    def execute_profiled(self, values, arena, profiler) -> None:
+        started = time.perf_counter()
+        self.execute(values, arena)
+        profiler.record_op(
+            self.profile_name(), self.op_kind(), self.profile_mode(),
+            time.perf_counter() - started)
+
 
 class FusedConv(_FusedOp):
     """A compiled convolution with optionally folded BN and activation epilogue."""
@@ -226,6 +249,62 @@ class FusedConv(_FusedOp):
         if self.observer is not None:
             self.observer("post", self.layer_name, out)
         values[self.out_slot] = out.reshape(n, out_channels, out_h, out_w)
+
+    def execute_profiled(self, values, arena, profiler) -> None:
+        """Phase-attributed mirror of :meth:`execute` (gather/gemm/epilogue).
+
+        Kept as a separate body so the unprofiled hot path stays free of
+        timestamp calls; any behavioral change to :meth:`execute` must be
+        mirrored here (the profiler tests compare both outputs).
+        """
+        started = time.perf_counter()
+        data = _contiguous(values[self.in_slot], arena, (self.key, "in"))
+        if self.observer is not None:
+            self.observer("in", self.layer_name, data)
+        n, c, h, w = data.shape
+        plan = self.plan
+        out_channels = plan.out_channels
+
+        if plan.kept_columns.size == 0:
+            out_h, out_w = plan.output_hw(h, w)
+            out = arena.buffer((self.key, "out"), (n, out_channels, out_h, out_w))
+            if self.bias is None:
+                out.fill(0.0)
+            else:
+                out[...] = self.bias.reshape(1, -1, 1, 1)
+            self._epilogue(out, arena)
+            values[self.out_slot] = out
+            profiler.record_op(
+                self.profile_name(), self.op_kind(), self.mode,
+                time.perf_counter() - started)
+            return
+
+        if plan.mode == MODE_POINTWISE:
+            gemm_in, (out_h, out_w) = self._pointwise_input(data, arena)
+        else:
+            gemm_in, (out_h, out_w) = self._gather_columns(data, arena)
+        gathered = time.perf_counter()
+
+        length = out_h * out_w
+        out = arena.buffer((self.key, "out"), (n, out_channels, length))
+        np.matmul(self.weight, gemm_in, out=out)
+        if self.bias is not None:
+            out += self.bias.reshape(1, -1, 1)
+        if self.observer is not None:
+            self.observer("pre", self.layer_name, out)
+        multiplied = time.perf_counter()
+        self._epilogue(out, arena)
+        if self.observer is not None:
+            self.observer("post", self.layer_name, out)
+        values[self.out_slot] = out.reshape(n, out_channels, out_h, out_w)
+        finished = time.perf_counter()
+        profiler.record_op(
+            self.profile_name(), self.op_kind(), self.mode, finished - started,
+            phases={
+                "gather": gathered - started,
+                "gemm": multiplied - gathered,
+                "epilogue": finished - multiplied,
+            })
 
     def _epilogue(self, buf: np.ndarray, arena: WorkspaceArena) -> None:
         _apply_activation_inplace(self.act, buf, arena, self.key, self.act_slope)
@@ -627,6 +706,9 @@ class FusedProgram:
         # accumulating for the life of the program (thread-per-request callers).
         self._arenas: List["weakref.ref[WorkspaceArena]"] = []
         self._arena_lock = threading.Lock()
+        #: Program-wide EngineProfiler (``CompiledModel.enable_profiling``);
+        #: ``None`` in steady state — the hot path pays one check per forward.
+        self._profiler = None
 
     # ------------------------------------------------------------------ arenas
     def _arena(self) -> WorkspaceArena:
@@ -650,6 +732,25 @@ class FusedProgram:
                       if (arena := ref()) is not None]
         return merge_stats(arenas)
 
+    # ----------------------------------------------------------- profiling
+    def set_profiler(self, profiler) -> None:
+        """Attach/detach (``None``) a program-wide per-op profiler."""
+        self._profiler = profiler
+
+    @contextmanager
+    def profiled(self, profiler):
+        """Profile this thread's forwards only — the serving batcher uses
+        this per traced batch so concurrent threads never share a sink."""
+        self._tls.profiler = profiler
+        try:
+            yield profiler
+        finally:
+            self._tls.profiler = None
+
+    def _active_profiler(self):
+        profiler = getattr(self._tls, "profiler", None)
+        return profiler if profiler is not None else self._profiler
+
     # --------------------------------------------------------------- execution
     def run(self, data: np.ndarray):  # reprolint: hot
         """Execute the fused program on raw NCHW input.
@@ -666,7 +767,15 @@ class FusedProgram:
         Returns the model's output structure as *fresh* numpy arrays — results
         never alias arena buffers, so callers (e.g. the serving layer handing
         slices to concurrent clients) can hold them across later forwards.
+
+        Profiling (``repro.obs``): resolving the attached profiler is the one
+        instrumentation cost the unprofiled path pays — two attribute reads
+        and an ``is None`` branch per *forward* (not per op), gated ≤2% by
+        ``benchmarks/test_obs_overhead.py``.
         """
+        return self._run(data, self._active_profiler())
+
+    def _run(self, data: np.ndarray, profiler):  # reprolint: hot
         arena = self._arena()
         # Input normalization: already-contiguous float32 input (the serving
         # batcher's stacked batches) is a no-op view, anything else is a
@@ -686,9 +795,16 @@ class FusedProgram:
             data = staged
         values: List[Optional[np.ndarray]] = [None] * self.graph.num_slots
         values[self.graph.input_slot] = data
-        with no_grad(), np.errstate(over="ignore"):
-            for op in self.steps:
-                op.execute(values, arena)
+        if profiler is None:
+            with no_grad(), np.errstate(over="ignore"):
+                for op in self.steps:
+                    op.execute(values, arena)
+        else:
+            run_started = time.perf_counter()
+            with no_grad(), np.errstate(over="ignore"):
+                for op in self.steps:
+                    op.execute_profiled(values, arena, profiler)
+            profiler.record_run(time.perf_counter() - run_started)
         return fill_template(
             self.graph.output_template,
             # Mandatory copy-out: results must never alias arena buffers (the

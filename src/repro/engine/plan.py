@@ -102,6 +102,30 @@ if hasattr(os, "register_at_fork"):  # not on Windows ("spawn" children re-impor
     os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
+def _layout_cache_samples():
+    """Obs-registry collector: the process-wide layout-cache counters."""
+    from repro.obs.registry import Sample
+
+    return [
+        Sample("repro_engine_layout_cache_hits_total", {},
+               float(_GLOBAL_CACHE_STATS.hits), "counter"),
+        Sample("repro_engine_layout_cache_misses_total", {},
+               float(_GLOBAL_CACHE_STATS.misses), "counter"),
+    ]
+
+
+def _register_obs_collector() -> None:
+    # Deferred import: obs sits below the engine in the layering, but the
+    # registration itself must not run during a partially-initialized import
+    # cycle, so it lives in a function called at the end of module init.
+    from repro.obs.registry import register_builtin_collector
+
+    register_builtin_collector("engine.layout_cache", _layout_cache_samples)
+
+
+_register_obs_collector()
+
+
 @dataclass
 class ConvPlan:
     """Compiled execution plan of one convolution layer.

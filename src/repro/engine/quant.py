@@ -390,6 +390,50 @@ class QuantFusedConv(FusedConv):
             out = self._execute_numpy(kernel, rows, arena, n, out_h, out_w)
         values[self.out_slot] = out
 
+    def execute_profiled(self, values, arena, profiler) -> None:
+        """Phase-attributed mirror of :meth:`execute` for the int8 path.
+
+        Overrides the fp32 :class:`FusedConv` version — the numerics here are
+        the quantized pipeline, and the phases differ: ``quantize`` (input
+        code conversion), ``gather`` (NHWC row build) and ``gemm`` (integer
+        GEMM + requantizing epilogue).  Only reached with a profiler attached.
+        """
+        started = time.perf_counter()
+        data = values[self.in_slot]
+        plan = self.plan
+        if self.in_codes:
+            n = data.shape[0]
+        else:
+            data = _contiguous(data, arena, (self.key, "in"))
+            n = data.shape[0]
+            data = self._quantize_input(data, arena)
+        quantized = time.perf_counter()
+        if plan.mode == MODE_POINTWISE:
+            rows, (out_h, out_w) = self._rows_pointwise(data, arena)
+        else:
+            rows, (out_h, out_w) = self._rows_window(data, arena)
+        length = out_h * out_w
+        gathered = time.perf_counter()
+
+        kernel = FORCE_GEMM_KERNEL or self.gemm_kernel
+        if kernel is None:
+            kernel = select_gemm_kernel(self.op_pad, self.kp, n * length)
+            self.gemm_kernel = kernel  # idempotent under concurrent first calls
+
+        if kernel == "vnni":
+            out = self._execute_native(rows, arena, n, out_h, out_w)
+        else:
+            out = self._execute_numpy(kernel, rows, arena, n, out_h, out_w)
+        values[self.out_slot] = out
+        finished = time.perf_counter()
+        profiler.record_op(
+            self.profile_name(), self.op_kind(), self.mode, finished - started,
+            phases={
+                "quantize": quantized - started,
+                "gather": gathered - quantized,
+                "gemm": finished - gathered,
+            })
+
     def _execute_native(self, rows, arena, n, out_h, out_w):
         native = load_native()
         if native is None:

@@ -1,0 +1,225 @@
+"""``repro top``: a live terminal view of a serving run.
+
+The dashboard is deliberately dumb about *where* snapshots come from: it polls
+a zero-argument ``source`` callable returning the latest snapshot dict (or
+``None`` while there is nothing to show).  Sources in the tree:
+
+* :func:`file_source` — tail the ``snapshot.json`` that ``repro serve --obs
+  DIR`` rewrites throughout its load phase, so ``repro top --obs DIR`` in a
+  second terminal watches a live run across process boundaries;
+* an in-process lambda over ``Router.report()`` / ``InferenceService.report()``
+  plus ``get_registry().snapshot()`` (what ``repro top --artifact`` does with
+  its self-driven demo load).
+
+Rendering is a pure function (:func:`render`) from snapshot to text frame —
+that is what the tests assert on — wrapped by :class:`TopView`, which prefers
+stdlib ``curses`` for flicker-free redraws and degrades to plain frame dumps
+on dumb terminals, pipes, or ``--plain``.  ``q`` quits the curses view.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TopView", "file_source", "render"]
+
+_BAR = "─"
+
+
+def file_source(path: str) -> Callable[[], Optional[Dict[str, Any]]]:
+    """Snapshot source tailing a JSON file (``None`` until it exists/parses).
+
+    Tolerates torn reads: the writer side replaces the file atomically
+    (write-to-temp + rename), but a missing or half-written file simply yields
+    the previous frame's ``None`` instead of crashing the dashboard.
+    """
+
+    def read() -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    return read
+
+
+# ---------------------------------------------------------------------- rows
+def _fmt(value: Any, digits: int = 1) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _latency_cells(latency: Dict[str, Any]) -> Dict[str, str]:
+    return {
+        "p50_ms": _fmt(latency.get("p50_ms", 0.0)),
+        "p95_ms": _fmt(latency.get("p95_ms", 0.0)),
+        "p99_ms": _fmt(latency.get("p99_ms", 0.0)),
+    }
+
+
+def cluster_rows(report: Dict[str, Any]) -> List[Dict[str, str]]:
+    """One dashboard row per worker of a ``Router.report()`` snapshot."""
+    rows: List[Dict[str, str]] = []
+    services = report.get("worker_services", {})
+    for worker_id in sorted(report.get("workers", {})):
+        stats = report["workers"][worker_id]
+        service = services.get(worker_id, {})
+        modes = service.get("engine_modes", {})
+        queue = service.get("queue", {})
+        rows.append({
+            "worker": worker_id,
+            "completed": _fmt(stats.get("completed", 0)),
+            "failed": _fmt(stats.get("failed", 0)),
+            "restarts": _fmt(stats.get("restarts", 0)),
+            "rps": _fmt(service.get("throughput_rps", 0.0)),
+            **_latency_cells(stats.get("latency", {})),
+            "queue": _fmt(queue.get("max_depth", 0)),
+            "engine": next(iter(modes.values()), "?") if modes else "?",
+        })
+    return rows
+
+
+def service_rows(report: Dict[str, Any]) -> List[Dict[str, str]]:
+    """The single-service row of an ``InferenceService.report()`` snapshot."""
+    requests = report.get("requests", {})
+    queue = report.get("queue", {})
+    modes = report.get("engine_modes", {})
+    return [{
+        "worker": "in-process",
+        "completed": _fmt(requests.get("completed", 0)),
+        "failed": _fmt(requests.get("failed", 0)),
+        "restarts": "0",
+        "rps": _fmt(report.get("throughput_rps", 0.0)),
+        **_latency_cells(report.get("latency", {})),
+        "queue": _fmt(queue.get("max_depth", 0)),
+        "engine": next(iter(modes.values()), "?") if modes else "?",
+    }]
+
+
+_COLUMNS = ("worker", "completed", "failed", "restarts", "rps",
+            "p50_ms", "p95_ms", "p99_ms", "queue", "engine")
+
+
+def _format_rows(rows: List[Dict[str, str]]) -> List[str]:
+    widths = {col: len(col) for col in _COLUMNS}
+    for row in rows:
+        for col in _COLUMNS:
+            widths[col] = max(widths[col], len(row.get(col, "")))
+    header = "  ".join(col.ljust(widths[col]) for col in _COLUMNS)
+    lines = [header, _BAR * len(header)]
+    for row in rows:
+        lines.append("  ".join(
+            row.get(col, "").ljust(widths[col]) for col in _COLUMNS))
+    return lines
+
+
+def render(snapshot: Optional[Dict[str, Any]], width: int = 100) -> str:
+    """The full text frame for one snapshot (pure; what the tests check)."""
+    if not snapshot:
+        return "repro top — waiting for a snapshot...\n"
+    report = snapshot.get("report", {})
+    is_cluster = "workers" in report
+    rows = cluster_rows(report) if is_cluster else service_rows(report)
+    stamp = snapshot.get("ts")
+    when = time.strftime("%H:%M:%S", time.localtime(stamp)) if stamp else "live"
+    kind = "cluster" if is_cluster else "service"
+    title = f"repro top — {kind} [{snapshot.get('name', '?')}] @ {when}"
+    lines = [title[:width], (_BAR * min(len(title), width))]
+    lines.extend(line[:width] for line in _format_rows(rows))
+    if is_cluster:
+        cluster = report.get("cluster", {})
+        lines.append("")
+        lines.append(
+            f"cluster: {cluster.get('completed', 0)} completed, "
+            f"{cluster.get('failed', 0)} failed, "
+            f"{cluster.get('restarts', 0)} restarts, "
+            f"{cluster.get('redispatched', 0)} redispatched, "
+            f"{_fmt(cluster.get('throughput_rps', 0.0))} rps"[:width])
+    # A few headline registry series (snapshot["metrics"] is the flat
+    # ``registry.snapshot()`` {key: value} view), counters first.
+    metrics = snapshot.get("metrics")
+    if isinstance(metrics, dict):
+        interesting = sorted(
+            key for key in metrics
+            if key.split("{", 1)[0].endswith(("_total", "_hits", "_misses")))
+        if interesting:
+            lines.append("")
+            lines.append("registry:")
+            lines.extend(f"  {key} = {_fmt(float(metrics[key]), 0)}"[:width]
+                         for key in interesting[:8])
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- view
+class TopView:
+    """Poll ``source`` and draw frames until interrupted (or ``once``)."""
+
+    def __init__(self, source: Callable[[], Optional[Dict[str, Any]]],
+                 interval: float = 1.0) -> None:
+        self.source = source
+        self.interval = max(0.1, float(interval))
+
+    def run(self, once: bool = False, plain: bool = False,
+            max_frames: Optional[int] = None) -> int:
+        """Render loop; returns a process exit code."""
+        if once:
+            sys.stdout.write(render(self.source()))
+            return 0
+        use_curses = not plain and sys.stdout.isatty()
+        if use_curses:
+            try:
+                import curses
+            except ImportError:  # pragma: no cover - non-POSIX builds
+                use_curses = False
+        if use_curses:
+            return self._run_curses(max_frames)
+        return self._run_plain(max_frames)
+
+    def _run_plain(self, max_frames: Optional[int]) -> int:
+        frames = 0
+        try:
+            while max_frames is None or frames < max_frames:
+                sys.stdout.write(render(self.source()))
+                sys.stdout.write("\n")
+                sys.stdout.flush()
+                frames += 1
+                if max_frames is not None and frames >= max_frames:
+                    break
+                time.sleep(self.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    def _run_curses(self, max_frames: Optional[int]) -> int:  # pragma: no cover - needs a tty
+        import curses
+
+        def loop(screen) -> None:
+            curses.curs_set(0)
+            screen.nodelay(True)
+            frames = 0
+            while max_frames is None or frames < max_frames:
+                height, width = screen.getmaxyx()
+                frame = render(self.source(), width=max(20, width - 1))
+                screen.erase()
+                for y, line in enumerate(frame.splitlines()[: height - 2]):
+                    screen.addnstr(y, 0, line, width - 1)
+                screen.addnstr(height - 1, 0, "q: quit", width - 1)
+                screen.refresh()
+                frames += 1
+                deadline = time.monotonic() + self.interval
+                while time.monotonic() < deadline:
+                    key = screen.getch()
+                    if key in (ord("q"), ord("Q")):
+                        return
+                    time.sleep(0.05)
+
+        try:
+            curses.wrapper(loop)
+        except KeyboardInterrupt:
+            pass
+        return 0

@@ -29,6 +29,7 @@ from typing import Any, Callable, Deque, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.runner import RunnerStats, _split_outputs
+from repro.obs.tracing import TraceContext
 from repro.serving.metrics import ServingMetrics
 from repro.utils.logging import get_logger
 
@@ -89,6 +90,10 @@ class InferenceFuture:
         self._error: Optional[BaseException] = None
         #: ``time.perf_counter()`` at resolution (for client-side latency math).
         self.resolved_at: Optional[float] = None
+        #: The request's :class:`repro.obs.TraceContext` when tracing is armed
+        #: (set at admission), else ``None`` — how callers correlate a result
+        #: with its spans in the trace buffer.
+        self.trace: Optional[TraceContext] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -143,12 +148,20 @@ def submit_stack(submit_one: Callable[[np.ndarray], "InferenceFuture"],
 class _Request:
     """One queued image plus its future and admission timestamp."""
 
-    __slots__ = ("image", "future", "enqueued_at")
+    __slots__ = ("image", "future", "enqueued_at", "trace", "enqueued_wall",
+                 "popped_wall")
 
-    def __init__(self, image: np.ndarray) -> None:
+    def __init__(self, image: np.ndarray,
+                 trace: Optional[TraceContext] = None) -> None:
         self.image = image
         self.future = InferenceFuture()
+        self.future.trace = trace
         self.enqueued_at = time.perf_counter()
+        self.trace = trace
+        # Wall-clock (epoch) twins of the perf_counter timestamps, recorded
+        # only for traced requests: spans must be comparable across processes.
+        self.enqueued_wall = time.time() if trace is not None else 0.0
+        self.popped_wall = 0.0
 
 
 class DynamicBatcher:
@@ -168,6 +181,12 @@ class DynamicBatcher:
         Optional callable applied to each request's sliced output *outside* the
         queue lock (e.g. detection decoding + NMS); its return value becomes
         the future's result.
+    engine_source:
+        Optional zero-arg callable resolving to the
+        :class:`~repro.engine.compiler.CompiledModel` behind ``run_batch`` (or
+        ``None``).  Only consulted for *traced* batches: the batcher profiles
+        the forward through it so the worker-execute span carries the per-op
+        engine breakdown.
     """
 
     # reprolint lock-discipline contract: queue state mutates only under the
@@ -185,11 +204,13 @@ class DynamicBatcher:
         metrics: Optional[ServingMetrics] = None,
         postprocess: Optional[Callable[[Any], Any]] = None,
         name: str = "batcher",
+        engine_source: Optional[Callable[[], Any]] = None,
     ) -> None:
         self._run_batch = run_batch
         self.policy = policy or BatchPolicy()
         self.metrics = metrics
         self._postprocess = postprocess
+        self._engine_source = engine_source
         self.name = name
         self.stats = RunnerStats()
 
@@ -210,13 +231,16 @@ class DynamicBatcher:
             return len(self._queue)
 
     def submit(self, image: np.ndarray, block: bool = False,
-               timeout: Optional[float] = None) -> InferenceFuture:
+               timeout: Optional[float] = None,
+               trace: Optional[TraceContext] = None) -> InferenceFuture:
         """Admit one image; returns its :class:`InferenceFuture`.
 
         ``image`` is a single ``(C, H, W)`` image (a ``(1, C, H, W)`` array is
         squeezed).  Non-blocking submits raise :class:`QueueFullError` when the
         queue is at capacity; ``block=True`` waits for space instead
         (backpressure), raising :class:`TimeoutError` after ``timeout`` seconds.
+        ``trace`` (when tracing is armed) rides the request: the batcher closes
+        its queue-wait / batch-assembly / worker-execute / postprocess spans.
         """
         image = np.ascontiguousarray(image, dtype=np.float32)
         if image.ndim == 4:
@@ -258,7 +282,7 @@ class DynamicBatcher:
                         f"timed out waiting for space in the {self.name} queue")
                 if self._closed:
                     raise ServiceClosedError(f"{self.name} has been shut down")
-            request = _Request(image)
+            request = _Request(image, trace)
             self._queue.append(request)
             depth = len(self._queue)
             self._work_available.notify()
@@ -279,11 +303,11 @@ class DynamicBatcher:
                 self._work_available.wait()
             if not self._queue:
                 return []
-            batch = [self._queue.popleft()]
+            batch = [self._pop_request()]
             deadline = batch[0].enqueued_at + policy.max_wait_ms / 1e3
             while len(batch) < policy.max_batch_size:
                 if self._queue:
-                    batch.append(self._queue.popleft())
+                    batch.append(self._pop_request())
                     continue
                 if self._closed:
                     break
@@ -292,28 +316,70 @@ class DynamicBatcher:
                     break
                 self._work_available.wait(remaining)
             self._space_available.notify(len(batch))
-            return batch
+        assembled = time.time()
+        for request in batch:
+            trace = request.trace
+            if trace is not None:
+                trace.record("queue-wait", request.enqueued_wall,
+                             request.popped_wall)
+                trace.record("batch-assembly", request.popped_wall, assembled)
+        return batch
+
+    def _pop_request(self) -> _Request:  # reprolint: holds=_lock
+        """Dequeue one request (lock held); stamps the pop time when traced."""
+        request = self._queue.popleft()
+        if request.trace is not None:
+            request.popped_wall = time.time()
+        return request
 
     def _execute(self, batch: List[_Request]) -> None:
         started = time.perf_counter()
+        traced = any(request.trace is not None for request in batch)
+        exec_started_wall = time.time() if traced else 0.0
+        profiler = None
         try:
             stacked = np.stack([request.image for request in batch])
-            outputs = self._run_batch(stacked)
+            engine = self._traced_engine() if traced else None
+            if engine is not None:
+                # Per-op engine attribution for the worker-execute span; the
+                # profiler is thread-local to this batch, so concurrent
+                # batchers on the same engine never share a sink.
+                with engine.profiled() as profiler:
+                    outputs = self._run_batch(stacked)
+            else:
+                outputs = self._run_batch(stacked)
             slices = _split_outputs(outputs, len(batch))
         except BaseException as error:  # resolve every waiter, never hang them
             logger.warning("batch of %d failed: %s", len(batch), error)
+            failed_wall = time.time()
             for request in batch:
                 if self.metrics is not None:
                     self.metrics.record_completion(
                         time.perf_counter() - request.enqueued_at, failed=True)
                 request.future._fail(error)
+                trace = request.trace
+                if trace is not None:
+                    trace.record("worker-execute", exec_started_wall, failed_wall,
+                                 batch=len(batch), error=str(error))
+                    trace.finish()
             return
         elapsed = time.perf_counter() - started
+        exec_done_wall = time.time() if traced else 0.0
         self.stats.record(len(batch), elapsed)
         if self.metrics is not None:
             self.metrics.record_batch(len(batch), elapsed)
+        span_args: dict = {}
+        if traced:
+            span_args["batch"] = len(batch)
+            if profiler is not None:
+                span_args["ops_ms"] = profiler.top_ops()
         for request, output in zip(batch, slices):
+            trace = request.trace
+            if trace is not None:
+                trace.record("worker-execute", exec_started_wall, exec_done_wall,
+                             **span_args)
             failed = False
+            post_started_wall = time.time() if trace is not None else 0.0
             try:
                 result = output if self._postprocess is None else self._postprocess(output)
             except BaseException as error:
@@ -321,9 +387,22 @@ class DynamicBatcher:
                 request.future._fail(error)
             else:
                 request.future._resolve(result)
+            if trace is not None:
+                trace.record("postprocess", post_started_wall)
+                trace.finish()
             if self.metrics is not None:
                 self.metrics.record_completion(
                     time.perf_counter() - request.enqueued_at, failed=failed)
+
+    def _traced_engine(self):
+        """The CompiledModel behind ``run_batch``, for traced batches only."""
+        if self._engine_source is None:
+            return None
+        try:
+            engine = self._engine_source()
+        except Exception:  # never let observability break the batch
+            return None
+        return engine if hasattr(engine, "profiled") else None
 
     def _worker_loop(self) -> None:
         while True:

@@ -12,11 +12,16 @@ model-affinity cluster deliberately should not), and the failure counters
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.obs.registry import Sample, get_registry, summary_samples
 from repro.utils.profiling import LatencyStats
+
+#: Distinguishes concurrent clusters in the obs registry's label sets.
+_CLUSTER_SERIAL = itertools.count(1)
 
 
 class _WorkerLedger:
@@ -34,15 +39,31 @@ class _WorkerLedger:
 
 
 class ClusterMetrics:
-    """Thread-safe aggregate of one cluster's serving activity."""
+    """Thread-safe aggregate of one cluster's serving activity.
 
-    def __init__(self) -> None:
+    Registers itself as a weak collector on the process obs registry
+    (:mod:`repro.obs.registry`) so ``registry.snapshot()`` folds per-worker
+    request counters, restart/redispatch totals and the cluster latency
+    summary into the unified view alongside serving and engine series.
+    """
+
+    _guarded_by_ = {
+        "_workers": "_lock",
+        "_first_submit": "_lock",
+        "_last_completion": "_lock",
+    }
+
+    def __init__(self, name: Optional[str] = None, register: bool = True) -> None:
         self._lock = threading.Lock()
+        self.name = name or f"cluster-{next(_CLUSTER_SERIAL)}"
         self._workers: Dict[str, _WorkerLedger] = {}
         self._first_submit: Optional[float] = None
         self._last_completion: Optional[float] = None
+        if register:
+            get_registry().register_collector(
+                f"cluster.{self.name}", self.collect_metrics)
 
-    def _ledger(self, worker: str) -> _WorkerLedger:
+    def _ledger(self, worker: str) -> _WorkerLedger:  # reprolint: holds=_lock
         ledger = self._workers.get(worker)
         if ledger is None:
             ledger = self._workers[worker] = _WorkerLedger()
@@ -117,7 +138,10 @@ class ClusterMetrics:
             workers: Dict[str, object] = {}
             for name in sorted(self._workers):
                 ledger = self._workers[name]
-                merged.extend(ledger.latency.samples)
+                # merge (not extend): folds exact count/sum/max aggregates, so
+                # the cluster summary stays exact even once per-worker
+                # reservoirs have started down-sampling.
+                merged.merge(ledger.latency)
                 workers[name] = {
                     "submitted": ledger.submitted,
                     "completed": ledger.completed,
@@ -138,6 +162,37 @@ class ClusterMetrics:
                     "latency": merged.summary(),
                 },
             }
+
+    def collect_metrics(self) -> List[Sample]:
+        """Obs-registry collector: per-worker counters + cluster latency."""
+        labels = {"cluster": self.name}
+        merged = LatencyStats()
+        samples: List[Sample] = []
+        with self._lock:
+            for name in sorted(self._workers):
+                ledger = self._workers[name]
+                merged.merge(ledger.latency)
+                worker_labels = dict(labels, worker=name)
+                samples.extend([
+                    Sample("repro_cluster_requests_total",
+                           dict(worker_labels, outcome="submitted"),
+                           float(ledger.submitted), "counter"),
+                    Sample("repro_cluster_requests_total",
+                           dict(worker_labels, outcome="completed"),
+                           float(ledger.completed), "counter"),
+                    Sample("repro_cluster_requests_total",
+                           dict(worker_labels, outcome="failed"),
+                           float(ledger.failed), "counter"),
+                    Sample("repro_cluster_restarts_total", worker_labels,
+                           float(ledger.restarts), "counter"),
+                    Sample("repro_cluster_redispatched_total", worker_labels,
+                           float(ledger.redispatched), "counter"),
+                ])
+        samples.append(Sample("repro_cluster_throughput_rps", labels,
+                              self.throughput(), "gauge"))
+        samples.extend(
+            summary_samples("repro_cluster_latency_seconds", labels, merged))
+        return samples
 
     def flat_row(self) -> Dict[str, object]:
         """One table row for :func:`repro.evaluation.tables.format_table`."""

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.engine.runner import _concat_outputs
+from repro.obs.tracing import TraceContext, mint_trace
 from repro.pipeline.spec import ROUTING_POLICY_NAMES
 from repro.serving.batcher import (
     BatchPolicy,
@@ -279,8 +280,16 @@ class Router:
         Mirrors :meth:`InferenceService.submit`: non-blocking submits raise
         :class:`~repro.serving.batcher.QueueFullError` under overload; blocking
         submits wait for queue space (and survive a worker restart mid-wait).
+
+        When tracing is armed each submit mints a
+        :class:`~repro.obs.tracing.TraceContext` whose id crosses the pipe to
+        the chosen worker; the completed trace (router-dispatch plus the
+        worker's queue/batch/engine spans) lands in this process's
+        :func:`~repro.obs.tracing.get_trace_buffer`.
         """
-        return self._dispatch(image, model=model, block=block, timeout=timeout, future=None)
+        return self._dispatch(
+            image, model=model, block=block, timeout=timeout, future=None,
+            trace=mint_trace())
 
     def _dispatch(
         self,
@@ -290,9 +299,11 @@ class Router:
         timeout: Optional[float],
         future: Optional[InferenceFuture],
         submitted_at: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> InferenceFuture:
         """Routing loop shared by client submits and monitor re-dispatch."""
         deadline = None if timeout is None else time.perf_counter() + timeout
+        dispatch_started = time.time() if trace is not None else 0.0
         model_key = model if model is not None else "default"
         while True:
             with self._lock:
@@ -323,16 +334,24 @@ class Router:
                 continue
             try:
                 remaining = None if deadline is None else deadline - time.perf_counter()
-                return worker.submit(
+                result = worker.submit(
                     image,
                     model=model,
                     block=block,
                     timeout=remaining,
                     future=future,
                     submitted_at=submitted_at,
+                    trace=trace,
                 )
             except WorkerUnavailableError:
                 continue  # the worker died between select and submit; re-route
+            if trace is not None:
+                # Covers routing-policy selection plus any blocking wait for
+                # queue space; redispatch legs record a second span under the
+                # same trace_id.
+                trace.record("router-dispatch", dispatch_started,
+                             worker=worker.worker_id)
+            return result
 
     def submit_many(
         self,
@@ -465,6 +484,7 @@ class Router:
                     timeout=120.0,
                     future=request.future,
                     submitted_at=request.submitted_at,
+                    trace=request.trace,
                 )
             except BaseException as error:
                 request.future._fail(error)

@@ -44,6 +44,7 @@ from repro.serving.batcher import (
     QueueFullError,
     WorkerUnavailableError,
 )
+from repro.obs.tracing import TraceContext
 from repro.serving.cluster.channel import (
     ArrayChannel,
     ChannelClosedError,
@@ -143,20 +144,28 @@ def _worker_main(
                     return
                 request_id, future = pending.popleft()
                 state["outstanding"] = len(pending)
+            # The batcher recorded this request's spans (queue-wait through
+            # postprocess) on the rehydrated TraceContext riding the future;
+            # ship them home in the header so the parent can absorb them into
+            # the original trace.
+            trace = getattr(future, "trace", None)
             try:
                 result = future.result()
             except BaseException as error:
+                meta = {"id": request_id, "error": str(error), "type": type(error).__name__}
+                if trace is not None:
+                    meta["spans"] = trace.spans_to_wire()
                 try:
-                    channel.send(
-                        "error",
-                        {"id": request_id, "error": str(error), "type": type(error).__name__},
-                    )
+                    channel.send("error", meta)
                 except ChannelClosedError:
                     return
             else:
                 treedef, arrays = flatten_arrays(result)
+                meta = {"id": request_id, "tree": treedef}
+                if trace is not None:
+                    meta["spans"] = trace.spans_to_wire()
                 try:
-                    channel.send("result", {"id": request_id, "tree": treedef}, arrays)
+                    channel.send("result", meta, arrays)
                 except ChannelClosedError:
                     return
 
@@ -173,11 +182,16 @@ def _worker_main(
                 break
             if message.kind == "infer":
                 request_id = int(message.meta["id"])
+                # Rehydrate the parent's trace identity; buffered=False keeps
+                # worker-side spans off the child ring — they travel back in
+                # the result header instead.
+                trace = TraceContext.from_wire(message.meta.get("trace"), buffered=False)
                 try:
                     # block=True: the child's bounded queue pushes back through
                     # the pipe instead of buffering unboundedly.
                     future = service.submit(
-                        message.arrays[0], model=message.meta.get("model"), block=True
+                        message.arrays[0], model=message.meta.get("model"),
+                        block=True, trace=trace,
                     )
                 except BaseException as error:
                     try:
@@ -218,13 +232,17 @@ def _worker_main(
 class _PendingRequest:
     """Parent-side record of one in-flight request (kept until resolution)."""
 
-    __slots__ = ("future", "image", "model", "submitted_at")
+    __slots__ = ("future", "image", "model", "submitted_at", "trace")
 
-    def __init__(self, future: InferenceFuture, image: np.ndarray, model: Optional[str]) -> None:
+    def __init__(self, future: InferenceFuture, image: np.ndarray, model: Optional[str],
+                 trace: Optional[TraceContext] = None) -> None:
         self.future = future
         self.image = image
         self.model = model
         self.submitted_at = time.perf_counter()
+        #: Router-side TraceContext; survives worker death (the record is
+        #: re-dispatched with the same trace, so one trace_id covers both legs).
+        self.trace = trace
 
 
 class WorkerProcess:
@@ -389,16 +407,21 @@ class WorkerProcess:
         timeout: Optional[float] = None,
         future: Optional[InferenceFuture] = None,
         submitted_at: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> InferenceFuture:
         """Ship one ``(C, H, W)`` image to the worker; returns its future.
 
         ``future`` and ``submitted_at`` let the router re-dispatch a dead
         worker's request while keeping the handle the client already waits on
         and the original admission timestamp (so recorded latency stays
-        admission-to-resolution, including the first, failed leg).
+        admission-to-resolution, including the first, failed leg).  ``trace``
+        crosses the pipe as a ``trace_id`` header field; the worker's spans
+        come back in the result frame and are absorbed into it.
         """
         image = np.ascontiguousarray(image, dtype=np.float32)
-        pending = _PendingRequest(future or InferenceFuture(), image, model)
+        pending = _PendingRequest(future or InferenceFuture(), image, model, trace=trace)
+        if trace is not None:
+            pending.future.trace = trace
         if submitted_at is not None:
             pending.submitted_at = submitted_at
         deadline = None if timeout is None else time.perf_counter() + timeout
@@ -424,8 +447,11 @@ class WorkerProcess:
         # completed + failed.
         if self.metrics is not None and future is None:
             self.metrics.record_submit(self.worker_id)
+        meta: Dict[str, Any] = {"id": request_id, "model": model}
+        if trace is not None:
+            meta["trace"] = trace.to_wire()
         try:
-            self.channel.send("infer", {"id": request_id, "model": model}, [image])
+            self.channel.send("infer", meta, [image])
         except ChannelClosedError:
             # The request stays in the outstanding table: the router's monitor
             # will observe the death and re-dispatch it (never dropped here).
@@ -477,6 +503,7 @@ class WorkerProcess:
                 pending.future._resolve(result)
                 if self.metrics is not None:
                     self.metrics.record_completion(self.worker_id, latency)
+                self._seal_trace(pending, message.meta)
             elif message.kind == "error":
                 pending = self._pop(int(message.meta["id"]))
                 if pending is None:
@@ -490,6 +517,7 @@ class WorkerProcess:
                     self.metrics.record_completion(
                         self.worker_id, time.perf_counter() - pending.submitted_at, failed=True
                     )
+                self._seal_trace(pending, message.meta)
             elif message.kind == "heartbeat":
                 self.last_heartbeat = time.perf_counter()
             elif message.kind == "stats":
@@ -501,6 +529,17 @@ class WorkerProcess:
                 self._mark_dead()
             elif message.kind == "bye":
                 self._mark_dead()
+
+    @staticmethod
+    def _seal_trace(pending: _PendingRequest, meta: Dict[str, Any]) -> None:
+        """Absorb the worker's shipped-back spans and seal the router trace."""
+        trace = pending.trace
+        if trace is None:
+            return
+        spans = meta.get("spans")
+        if spans:
+            trace.absorb_wire_spans(spans)
+        trace.finish()
 
     def _pop(self, request_id: int) -> Optional[_PendingRequest]:
         with self._lock:

@@ -8,7 +8,18 @@ admissions and rejections.  :meth:`ServingMetrics.report` exports everything as
 one nested plain dict, which is what the ``repro serve`` CLI prints and the
 serving benchmark writes to ``BENCH_serving.json``.
 
-All counters sit behind one lock — recording is a few appends/increments, so
+Every aggregate is memory-bounded: latency and batch-duration distributions
+ride the bounded reservoir in :class:`repro.utils.profiling.LatencyStats`,
+batch sizes fold into an exact histogram (at most ``max_batch_size`` distinct
+keys) and queue depths into running sum/max — a service under sustained load
+holds O(reservoir) state, not O(requests).
+
+Each instance also registers itself as a **collector** on the process obs
+registry (:mod:`repro.obs.registry`), publishing request counters, queue depth
+and the latency summary under its ``service`` label; the reference is weak, so
+a dead service's series simply drop out of the next ``registry.snapshot()``.
+
+All counters sit behind one lock — recording is a few increments, so
 contention is negligible next to a model forward pass.
 """
 
@@ -18,7 +29,8 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.utils.profiling import LatencyStats, percentile
+from repro.obs.registry import Sample, get_registry, summary_samples
+from repro.utils.profiling import LatencyStats
 
 
 class ServingMetrics:
@@ -29,18 +41,36 @@ class ServingMetrics:
     actually observes, not just model time.
     """
 
-    def __init__(self) -> None:
+    _guarded_by_ = {
+        "_latency": "_lock",
+        "_batch_stats": "_lock",
+        "_batch_hist": "_lock",
+        "_admitted": "_lock",
+        "_rejected": "_lock",
+        "_completed": "_lock",
+        "_failed": "_lock",
+    }
+
+    def __init__(self, name: str = "service", register: bool = True) -> None:
         self._lock = threading.Lock()
+        self.name = name
         self._latency = LatencyStats()
-        self._batch_sizes: List[int] = []
-        self._batch_seconds: List[float] = []
-        self._queue_depths: List[int] = []
+        self._batch_stats = LatencyStats()
+        self._batch_hist: Dict[int, int] = {}
+        self._batch_size_sum = 0
+        self._batch_size_max = 0
+        self._queue_sum = 0
+        self._queue_max = 0
+        self._queue_last = 0
         self._admitted = 0
         self._rejected = 0
         self._completed = 0
         self._failed = 0
         self._first_admission: Optional[float] = None
         self._last_completion: Optional[float] = None
+        if register:
+            get_registry().register_collector(
+                f"serving.{name}", self.collect_metrics)
 
     # ------------------------------------------------------------------ recording
     def record_admission(self, queue_depth: int) -> None:
@@ -48,7 +78,11 @@ class ServingMetrics:
         now = time.perf_counter()
         with self._lock:
             self._admitted += 1
-            self._queue_depths.append(int(queue_depth))
+            depth = int(queue_depth)
+            self._queue_sum += depth
+            self._queue_last = depth
+            if depth > self._queue_max:
+                self._queue_max = depth
             if self._first_admission is None:
                 self._first_admission = now
 
@@ -59,9 +93,13 @@ class ServingMetrics:
 
     def record_batch(self, size: int, seconds: float) -> None:
         """One executed micro-batch of ``size`` requests taking ``seconds``."""
+        size = int(size)
         with self._lock:
-            self._batch_sizes.append(int(size))
-            self._batch_seconds.append(float(seconds))
+            self._batch_stats.add(float(seconds))
+            self._batch_hist[size] = self._batch_hist.get(size, 0) + 1
+            self._batch_size_sum += size
+            if size > self._batch_size_max:
+                self._batch_size_max = size
 
     def record_completion(self, latency_seconds: float, failed: bool = False) -> None:
         """One request finished (its future resolved), successfully or not."""
@@ -98,10 +136,7 @@ class ServingMetrics:
         """Everything as one nested plain dict (JSON-ready)."""
         throughput = self.throughput()
         with self._lock:
-            sizes = list(self._batch_sizes)
-            histogram: Dict[int, int] = {}
-            for size in sizes:
-                histogram[size] = histogram.get(size, 0) + 1
+            batches = self._batch_stats.count
             return {
                 "requests": {
                     "admitted": self._admitted,
@@ -112,16 +147,19 @@ class ServingMetrics:
                 "throughput_rps": round(throughput, 2),
                 "latency": self._latency.summary(),
                 "batches": {
-                    "count": len(sizes),
-                    "mean_size": round(sum(sizes) / len(sizes), 2) if sizes else 0.0,
-                    "max_size": max(sizes) if sizes else 0,
-                    "p50_batch_ms": round(percentile(self._batch_seconds, 50) * 1e3, 3),
-                    "size_histogram": {str(k): v for k, v in sorted(histogram.items())},
+                    "count": batches,
+                    "mean_size": round(self._batch_size_sum / batches, 2)
+                    if batches else 0.0,
+                    "max_size": self._batch_size_max,
+                    "p50_batch_ms": round(
+                        self._batch_stats.quantile_seconds(50) * 1e3, 3),
+                    "size_histogram": {
+                        str(k): v for k, v in sorted(self._batch_hist.items())},
                 },
                 "queue": {
-                    "mean_depth": round(sum(self._queue_depths) / len(self._queue_depths), 2)
-                    if self._queue_depths else 0.0,
-                    "max_depth": max(self._queue_depths) if self._queue_depths else 0,
+                    "mean_depth": round(self._queue_sum / self._admitted, 2)
+                    if self._admitted else 0.0,
+                    "max_depth": self._queue_max,
                 },
             }
 
@@ -139,3 +177,34 @@ class ServingMetrics:
             "mean_batch": report["batches"]["mean_size"],
             "max_queue": report["queue"]["max_depth"],
         }
+
+    def collect_metrics(self) -> List[Sample]:
+        """Obs-registry collector: this session's series under its label."""
+        labels = {"service": self.name}
+        with self._lock:
+            admitted = self._admitted
+            rejected = self._rejected
+            completed = self._completed
+            failed = self._failed
+            queue_last = self._queue_last
+            queue_max = self._queue_max
+            batches = self._batch_stats.count
+            latency = LatencyStats()
+            latency.merge(self._latency)   # consistent copy outside the lock
+        samples = [
+            Sample("repro_serving_requests_total", dict(labels, outcome="admitted"),
+                   float(admitted), "counter"),
+            Sample("repro_serving_requests_total", dict(labels, outcome="rejected"),
+                   float(rejected), "counter"),
+            Sample("repro_serving_requests_total", dict(labels, outcome="completed"),
+                   float(completed), "counter"),
+            Sample("repro_serving_requests_total", dict(labels, outcome="failed"),
+                   float(failed), "counter"),
+            Sample("repro_serving_batches_total", labels, float(batches), "counter"),
+            Sample("repro_serving_queue_depth", labels, float(queue_last), "gauge"),
+            Sample("repro_serving_queue_depth_max", labels, float(queue_max), "gauge"),
+            Sample("repro_serving_throughput_rps", labels, self.throughput(), "gauge"),
+        ]
+        samples.extend(
+            summary_samples("repro_serving_latency_seconds", labels, latency))
+        return samples

@@ -97,15 +97,23 @@ class PooledModel:
     @property
     def engine_mode(self) -> str:
         """Executor this entry serves through: ``int8``/``fused``/``eager``/``dense``."""
+        compiled = self.compiled_model
+        return compiled.engine_mode if compiled is not None else "dense"
+
+    @property
+    def compiled_model(self) -> Optional[Any]:
+        """The :class:`~repro.engine.compiler.CompiledModel` behind this entry.
+
+        ``None`` for plain-module entries; used by the serving layer to attach
+        per-batch engine profilers to traced requests.
+        """
         from repro.engine.compiler import CompiledModel
 
         target = self.model
         compiled = getattr(target, "compiled", None)    # DeployableArtifact unwrap
         if compiled is not None:
             target = compiled
-        if isinstance(target, CompiledModel):
-            return target.engine_mode
-        return "dense"
+        return target if isinstance(target, CompiledModel) else None
 
     def default_image_shape(self) -> Tuple[int, int, int]:
         """Best-effort ``(C, H, W)`` warmup shape for the served model."""

@@ -30,6 +30,7 @@ import numpy as np
 from repro.engine.compiler import CompiledModel
 from repro.engine.runner import _concat_outputs
 from repro.nn.module import Module
+from repro.obs.tracing import TraceContext, mint_trace
 from repro.pipeline.artifact import DeployableArtifact
 from repro.serving.batcher import (
     BatchPolicy,
@@ -108,7 +109,7 @@ class InferenceService:
         name: str = "default",
     ) -> None:
         self.policy = policy or BatchPolicy()
-        self.metrics = metrics or ServingMetrics()
+        self.metrics = metrics or ServingMetrics(name=name)
         # Not `pool or ...`: ModelPool defines __len__, so a freshly created
         # (empty) pool is falsy and would be silently replaced.
         self.pool = pool if pool is not None else ModelPool(warmup=warmup)
@@ -141,22 +142,33 @@ class InferenceService:
                 pinned = self._pinned.get(key)
                 if pinned is not None:
                     run = pinned.run
+                    engine_source = lambda pinned=pinned: pinned.compiled_model
                 else:
                     run = lambda batch, key=key: self.pool.get(key).run(batch)
+                    engine_source = (
+                        lambda key=key: self.pool.get(key).compiled_model)
                 batcher = DynamicBatcher(
                     run, policy=self.policy, metrics=self.metrics,
-                    postprocess=self._postprocess, name=key.rsplit("/", 1)[-1])
+                    postprocess=self._postprocess, name=key.rsplit("/", 1)[-1],
+                    engine_source=engine_source)
                 self._batchers[key] = batcher
             return batcher
 
     def submit(self, image: np.ndarray, model: Optional[str] = None,
-               block: bool = False, timeout: Optional[float] = None) -> InferenceFuture:
+               block: bool = False, timeout: Optional[float] = None,
+               trace: Optional[TraceContext] = None) -> InferenceFuture:
         """Admit one ``(C, H, W)`` image; returns its future.
 
         Non-blocking by default: raises
         :class:`~repro.serving.batcher.QueueFullError` when the bounded queue
         is at capacity (admission control), so overload is visible to callers
         instead of silently growing latency.
+
+        When tracing is on (:func:`repro.obs.set_tracing` or ``REPRO_TRACE=1``)
+        each admission mints a :class:`~repro.obs.tracing.TraceContext` that
+        follows the request through queue, batch and engine; cluster workers
+        pass the rehydrated parent ``trace`` in instead, so one ``trace_id``
+        spans the router→worker hop.
         """
         if model is None:
             key = self._default_key
@@ -164,7 +176,10 @@ class InferenceService:
             key = model
         else:
             key = self.pool.key_for(model)
-        return self._batcher_for(key).submit(image, block=block, timeout=timeout)
+        if trace is None:
+            trace = mint_trace()     # None unless tracing is enabled
+        return self._batcher_for(key).submit(
+            image, block=block, timeout=timeout, trace=trace)
 
     def submit_many(self, images: Union[np.ndarray, Sequence[np.ndarray]],
                     model: Optional[str] = None,

@@ -1,12 +1,81 @@
-"""Thin wrapper around :mod:`logging` with a library-wide format."""
+"""Thin wrapper around :mod:`logging` with a library-wide format.
+
+Two output modes share one root handler on ``repro``:
+
+* plain (default): ``time | logger | level | message``,
+* JSON lines (:func:`use_json_logs`, the ``--log-json`` CLI flag, or
+  ``REPRO_LOG_JSON=1``): one object per line with ``ts``/``logger``/
+  ``level``/``message`` plus any ``extra`` fields — machine-ingestable
+  without a parsing grammar.
+
+Both formatters stamp the ambient ``trace_id``
+(:func:`repro.obs.tracing.current_trace_id`) on every record emitted inside
+a request scope, so service logs correlate with exported traces for free.
+"""
 
 from __future__ import annotations
 
+import json
 import logging
+import os
 import sys
 
 _FORMAT = "%(asctime)s | %(name)s | %(levelname)s | %(message)s"
 _CONFIGURED = False
+
+#: Record attributes that are logging machinery, not user payload (the JSON
+#: formatter exports everything else as ``extra``).
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime", "trace_id"}
+
+
+def _ambient_trace_id() -> str | None:
+    # Deferred import: logging is imported by nearly every module, so a
+    # top-level obs import here would be a cycle (obs logs too).
+    try:
+        from repro.obs.tracing import current_trace_id
+    except ImportError:  # pragma: no cover - during partial installs
+        return None
+    return current_trace_id()
+
+
+class _TraceIdFilter(logging.Filter):
+    """Stamp the ambient trace id on every record (empty when untraced)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "trace_id"):
+            record.trace_id = _ambient_trace_id() or ""
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` fields pass through as keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "logger": record.name,
+            "level": record.levelname,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", "")
+        if trace_id:
+            payload["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+class _PlainFormatter(logging.Formatter):
+    """The classic pipe format, with ``[trace_id]`` appended when present."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        trace_id = getattr(record, "trace_id", "")
+        return f"{line} [{trace_id}]" if trace_id else line
 
 
 def _configure_root() -> None:
@@ -14,12 +83,15 @@ def _configure_root() -> None:
     if _CONFIGURED:
         return
     handler = logging.StreamHandler(sys.stderr)
-    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.setFormatter(_PlainFormatter(_FORMAT))
+    handler.addFilter(_TraceIdFilter())
     root = logging.getLogger("repro")
     root.addHandler(handler)
     root.setLevel(logging.INFO)
     root.propagate = False
     _CONFIGURED = True
+    if os.environ.get("REPRO_LOG_JSON", "").lower() not in ("", "0", "false", "no"):
+        use_json_logs(True)
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -34,3 +106,11 @@ def set_verbosity(level: int | str) -> None:
     """Set the library-wide log level (e.g. ``logging.DEBUG`` or ``"DEBUG"``)."""
     _configure_root()
     logging.getLogger("repro").setLevel(level)
+
+
+def use_json_logs(enabled: bool = True) -> None:
+    """Switch the ``repro`` root handler between JSON-lines and plain format."""
+    _configure_root()
+    for handler in logging.getLogger("repro").handlers:
+        handler.setFormatter(
+            JsonFormatter() if enabled else _PlainFormatter(_FORMAT))

@@ -10,6 +10,7 @@ use to report p50/p95/p99 latency instead of a bare mean.
 from __future__ import annotations
 
 import math
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
@@ -94,15 +95,18 @@ def percentile(values: Iterable[float], q: float) -> float:
     return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
-@dataclass
 class LatencyStats:
-    """Latency sample collector with percentile reporting.
+    """Latency sample collector with percentile reporting, bounded in memory.
 
     Samples are recorded in **seconds**; :meth:`summary` reports milliseconds,
-    the unit every table in the repo prints latency in.  This replaces the
-    ad-hoc mean-only timing that callers used to build from
-    :class:`RunningAverage`: tail latency (p95/p99) is what a serving latency
-    budget is written against, and a mean cannot see it.
+    the unit every table in the repo prints latency in.  Tail latency (p95/p99)
+    is what a serving latency budget is written against, and a mean cannot see
+    it — but a serving process also cannot keep every sample forever.  Up to
+    ``capacity`` samples are retained verbatim; past that, new samples enter a
+    uniform reservoir (Vitter's Algorithm R) so percentiles stay an unbiased
+    estimate over the *whole* stream while memory stays O(capacity).
+    ``count``, ``mean_seconds`` and the max are always exact, tracked as
+    running aggregates independent of the reservoir.
 
     Not thread-safe on its own — concurrent writers must hold their own lock
     (see :class:`repro.serving.metrics.ServingMetrics`).
@@ -120,40 +124,97 @@ class LatencyStats:
     100.0
     >>> LatencyStats().summary()["count"]
     0
+    >>> bounded = LatencyStats(capacity=64)
+    >>> bounded.extend(s / 1000.0 for s in range(10_000))
+    >>> bounded.count, len(bounded.samples)
+    (10000, 64)
+    >>> bounded.summary()["max_ms"]
+    9999.0
     """
 
-    samples: List[float] = field(default_factory=list)
+    DEFAULT_CAPACITY = 4096
+
+    __slots__ = ("samples", "capacity", "_count", "_total", "_max", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"LatencyStats capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.samples: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        # Seeded so repeated runs (and doctests) see the same reservoir.
+        self._rng = random.Random(0x5EED)
 
     def add(self, seconds: float) -> None:
-        self.samples.append(float(seconds))
+        value = float(seconds)
+        self._count += 1
+        self._total += value
+        if value > self._max:
+            self._max = value
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self._count)
+        if slot < self.capacity:
+            self.samples[slot] = value
 
     def extend(self, seconds: Iterable[float]) -> None:
-        self.samples.extend(float(s) for s in seconds)
+        for s in seconds:
+            self.add(s)
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold ``other``'s aggregates and reservoir into this collector.
+
+        Exact aggregates (count/sum/max) stay exact; the reservoir absorbs the
+        other side's retained samples.  Used when per-worker ledgers are rolled
+        up into a cluster-wide view.
+        """
+        for value in other.samples:
+            if len(self.samples) < self.capacity:
+                self.samples.append(value)
+            else:
+                slot = self._rng.randrange(max(self._count, 1))
+                if slot < self.capacity:
+                    self.samples[slot] = value
+        self._count += other._count
+        self._total += other._total
+        if other._max > self._max:
+            self._max = other._max
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def mean_seconds(self) -> float:
-        if not self.samples:
+        if self._count == 0:
             return 0.0
-        return sum(self.samples) / len(self.samples)
+        return self._total / self._count
+
+    @property
+    def total_seconds(self) -> float:
+        return self._total
+
+    @property
+    def max_seconds(self) -> float:
+        return self._max
 
     def quantile_seconds(self, q: float) -> float:
         return percentile(self.samples, q)
 
     def summary(self, digits: int = 3) -> Dict[str, float]:
         """Flat milliseconds report: count, mean, p50/p95/p99, max."""
-        if not self.samples:
+        if self._count == 0:
             return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0,
                     "p99_ms": 0.0, "max_ms": 0.0}
         to_ms = lambda seconds: round(seconds * 1e3, digits)
         return {
-            "count": len(self.samples),
+            "count": self._count,
             "mean_ms": to_ms(self.mean_seconds),
             "p50_ms": to_ms(self.quantile_seconds(50)),
             "p95_ms": to_ms(self.quantile_seconds(95)),
             "p99_ms": to_ms(self.quantile_seconds(99)),
-            "max_ms": to_ms(max(self.samples)),
+            "max_ms": to_ms(self._max),
         }

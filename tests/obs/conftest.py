@@ -1,0 +1,17 @@
+"""Shared obs-test isolation: global tracing state must not leak across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def _isolate_tracing():
+    """Disarm tracing and empty the ring around every test in this package."""
+    previous = tracing.set_tracing(False)
+    tracing.get_trace_buffer().clear()
+    yield
+    tracing.set_tracing(previous)
+    tracing.get_trace_buffer().clear()

@@ -1,0 +1,110 @@
+"""Structured logging: JSON lines, trace_id injection, formatter switching."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.tracing import TraceContext, activate
+from repro.utils.logging import (
+    JsonFormatter,
+    _PlainFormatter,
+    _TraceIdFilter,
+    get_logger,
+    use_json_logs,
+)
+
+
+def make_record(message="hello", **extra):
+    record = logging.LogRecord(
+        "repro.test", logging.INFO, __file__, 1, message, (), None)
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJsonFormatter:
+    def test_emits_one_parseable_object_with_core_fields(self):
+        line = JsonFormatter().format(make_record("served batch"))
+        payload = json.loads(line)
+        assert payload["message"] == "served batch"
+        assert payload["logger"] == "repro.test"
+        assert payload["level"] == "INFO"
+        assert isinstance(payload["ts"], float)
+
+    def test_extra_fields_pass_through(self):
+        line = JsonFormatter().format(make_record("done", batch=4, worker="w0"))
+        payload = json.loads(line)
+        assert payload["batch"] == 4 and payload["worker"] == "w0"
+
+    def test_trace_id_included_only_when_present(self):
+        with_id = json.loads(JsonFormatter().format(
+            make_record("traced", trace_id="abc123")))
+        without = json.loads(JsonFormatter().format(make_record("untraced")))
+        assert with_id["trace_id"] == "abc123"
+        assert "trace_id" not in without
+
+    def test_exceptions_are_serialized(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+            record = make_record("failed")
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JsonFormatter().format(record))
+        assert "RuntimeError: boom" in payload["exception"]
+
+    def test_unserializable_extras_fall_back_to_repr(self):
+        line = JsonFormatter().format(make_record("odd", payload=object()))
+        assert "object object" in json.loads(line)["payload"]
+
+
+class TestTraceInjection:
+    def test_filter_stamps_ambient_trace_id(self):
+        trace = TraceContext(buffered=False)
+        record = make_record("in scope")
+        with activate(trace):
+            assert _TraceIdFilter().filter(record) is True
+        assert record.trace_id == trace.trace_id
+
+    def test_filter_stamps_empty_outside_a_scope(self):
+        record = make_record("no scope")
+        _TraceIdFilter().filter(record)
+        assert record.trace_id == ""
+
+    def test_plain_formatter_appends_trace_id(self):
+        formatter = _PlainFormatter("%(message)s")
+        assert formatter.format(make_record("x", trace_id="abc")) == "x [abc]"
+        assert formatter.format(make_record("x", trace_id="")) == "x"
+
+
+class TestHandlerSwitching:
+    @pytest.fixture(autouse=True)
+    def _restore_plain(self):
+        yield
+        use_json_logs(False)
+
+    def test_use_json_logs_switches_the_repro_root_handler(self):
+        # Assert on the handler object itself, not on captured stderr — the
+        # root handler binds whichever stream existed when logging was first
+        # configured, which an earlier test in the session may own.
+        get_logger("obs.logtest")
+        handlers = logging.getLogger("repro").handlers
+        assert handlers
+        assert any(isinstance(f, _TraceIdFilter)
+                   for handler in handlers for f in handler.filters)
+        use_json_logs(True)
+        assert all(isinstance(h.formatter, JsonFormatter) for h in handlers)
+        payload = json.loads(handlers[0].formatter.format(
+            make_record("structured", batch=2, trace_id="feedc0de")))
+        assert payload["message"] == "structured"
+        assert payload["batch"] == 2
+        assert payload["trace_id"] == "feedc0de"
+        use_json_logs(False)
+        assert all(isinstance(h.formatter, _PlainFormatter) for h in handlers)
+        plain = handlers[0].formatter.format(make_record("plain again"))
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(plain)
+        assert "plain again" in plain
