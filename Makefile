@@ -16,6 +16,10 @@
 #                      (repro.serving.cluster, 2 workers; reuses the serve-smoke
 #                      artifact when present, builds it otherwise; exits
 #                      non-zero if cluster outputs diverge from sequential)
+#   make gateway-smoke the artifact served over localhost TCP through the
+#                      async gateway (repro.serving.gateway) and driven with
+#                      the wire-level client; exits non-zero unless the wire
+#                      results are bit-identical to in-process submits
 #   make obs-smoke     observability end-to-end: a traced serve run exporting
 #                      snapshot.json / metrics.prom / metrics.jsonl /
 #                      trace.json (Chrome trace-event format), rendered once
@@ -34,7 +38,7 @@ export PYTHONPATH
 
 SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
 
-.PHONY: test test-engine lint lint-baseline smoke serve-smoke cluster-smoke obs-smoke bench bench-check docs-check
+.PHONY: test test-engine lint lint-baseline smoke serve-smoke cluster-smoke gateway-smoke obs-smoke bench bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -74,6 +78,11 @@ cluster-smoke:
 		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
 	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --workers 2 --requests 24 --concurrency 4
 
+gateway-smoke:
+	@test -f artifacts/serve-smoke.npz || \
+		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
+	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --requests 32 --concurrency 4 --gateway 127.0.0.1:0
+
 obs-smoke:
 	@test -f artifacts/serve-smoke.npz || \
 		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
@@ -96,6 +105,7 @@ docs-check:
 	@test -f docs/engine.md || { echo "docs-check: docs/engine.md is missing"; exit 1; }
 	@test -f docs/pipeline.md || { echo "docs-check: docs/pipeline.md is missing"; exit 1; }
 	@test -f docs/serving.md || { echo "docs-check: docs/serving.md is missing"; exit 1; }
+	@test -f docs/gateway.md || { echo "docs-check: docs/gateway.md is missing"; exit 1; }
 	@test -f docs/cluster.md || { echo "docs-check: docs/cluster.md is missing"; exit 1; }
 	@test -f docs/analysis.md || { echo "docs-check: docs/analysis.md is missing"; exit 1; }
 	@test -f docs/observability.md || { echo "docs-check: docs/observability.md is missing"; exit 1; }

@@ -42,6 +42,18 @@ MIN_SERVING_SPEEDUP = 1.25
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
 
 
+def _merge_result(update: dict) -> None:
+    """Read-update-write: the gateway benchmark shares BENCH_serving.json."""
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.update(update)
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
 def _pruned_compiled():
     model = TinyDetector(TinyDetectorConfig(num_classes=3, image_size=IMAGE_SIZE,
                                             base_channels=16))
@@ -105,7 +117,7 @@ def test_serving_throughput_beats_sequential(benchmark):
     print(format_table([row], title="Serving throughput, R-TOSS-2EP TinyDetector "
                                     "(micro-batched service vs sequential calls)"))
 
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    _merge_result(result)
 
     # Correctness first: the service must reproduce sequential outputs exactly.
     assert result["max_abs_diff"] < 1e-5

@@ -169,6 +169,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cores (default: the artifact spec's serve.workers)")
     serve.add_argument("--routing", choices=ROUTING_POLICY_NAMES, default=None,
                        help="cluster routing policy (default: spec's serve.routing)")
+    serve.add_argument("--gateway", default=None, metavar="HOST:PORT",
+                       help="serve over TCP: bind the async gateway at HOST:PORT "
+                            "(port 0 picks a free port) and drive the load "
+                            "through the wire-level client, verifying it "
+                            "returns bit-identical outputs to in-process "
+                            "submits")
     serve.add_argument("--mode", choices=("closed", "open"), default="closed",
                        help="closed-loop clients (throughput) or Poisson open loop")
     serve.add_argument("--rate", type=float, default=None,
@@ -530,6 +536,62 @@ class _ObsSession:
               f"{len(get_trace_buffer())} traces)")
 
 
+def _parse_hostport(value: str):
+    """``HOST:PORT`` (or a bare port) -> (host, port); raises ValueError."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        host, port_text = "", value
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid gateway address {value!r}; expected HOST:PORT") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"gateway port must be in [0, 65535], got {port}")
+    return host or "127.0.0.1", port
+
+
+class _GatewayFront:
+    """CLI helper: a bound :class:`GatewayServer` + connected wire client."""
+
+    def __init__(self, target, serve_spec, hostport: str) -> None:
+        from repro.pipeline.spec import GatewaySpec
+        from repro.serving import GatewayClient, GatewayServer
+
+        host, port = _parse_hostport(hostport)
+        base = serve_spec.gateway
+        spec = GatewaySpec(
+            enabled=True, host=host, port=port,
+            rate_limit_rps=base.rate_limit_rps, burst=base.burst,
+            max_inflight_per_client=base.max_inflight_per_client,
+            default_priority=base.default_priority, slo_ms=dict(base.slo_ms),
+            max_frame_mb=base.max_frame_mb)
+        self.server = GatewayServer(target, spec=spec).start()
+        self.client = GatewayClient(self.server.host, self.server.port)
+
+    @staticmethod
+    def start_if_requested(args, serve_spec, target):
+        return (_GatewayFront(target, serve_spec, args.gateway)
+                if args.gateway else None)
+
+    def close(self) -> None:
+        self.client.shutdown()
+        self.server.shutdown()
+
+
+def _gateway_flat_row(report) -> dict:
+    """One table row summarising a GatewayMetrics report across classes."""
+    requests = report["requests"]
+    return {
+        "connections": report["connections"]["total"],
+        "accepted": sum(requests["accepted"].values()),
+        "rejected": sum(requests["rejected"].values()),
+        "expired": sum(requests["expired"].values()),
+        "completed": sum(requests["completed"].values()),
+        "failed": sum(requests["failed"].values()),
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -623,20 +685,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Serve the already-loaded artifact object (no second load+recompile);
     # the pool still enforces the spec's residency bound for any extra models.
     pool = ModelPool(capacity=serve_spec.pool_capacity, warmup=serve_spec.warmup)
+    gateway_report = None
     with InferenceService(artifact, policy=policy, pool=pool,
                           warmup=serve_spec.warmup,
                           name=artifact.spec.name) as service:
-        obs = (_ObsSession(args.obs, artifact.spec.name, service.report)
-               if args.obs else nullcontext())
-        with obs:
-            if args.mode == "closed":
-                load = closed_loop(service, images, requests=requests,
-                                   concurrency=concurrency)
-            else:
-                rate = args.rate if args.rate is not None else 200.0
-                load = open_loop(service, images, requests=requests, rate_hz=rate,
-                                 seed=args.seed)
-            report = service.report()
+        try:
+            front = _GatewayFront.start_if_requested(args, serve_spec, service)
+        except (OSError, ValueError) as error:
+            print(f"error: could not start gateway: {error}", file=sys.stderr)
+            return 2
+        target = front.client if front is not None else service
+        try:
+            if front is not None:
+                print(f"gateway listening on "
+                      f"{front.server.host}:{front.server.port}")
+                # The wire client must return *bit-identical* outputs to an
+                # in-process submit — the serialization hop adds no numerics.
+                wire = front.client.submit_many(images)
+                inproc = service.submit_many(images)
+                identical = max_abs_output_diff(wire, inproc) == 0.0
+                print(f"gateway wire client vs in-process submit_many: "
+                      f"{'bit-identical OK' if identical else 'MISMATCH'}")
+                if not identical:
+                    return 1
+                # Zero both ledgers so the tables below cover the load phase.
+                service.metrics.reset()
+                front.server.metrics.reset()
+            obs = (_ObsSession(args.obs, artifact.spec.name, service.report)
+                   if args.obs else nullcontext())
+            with obs:
+                if args.mode == "closed":
+                    load = closed_loop(target, images, requests=requests,
+                                       concurrency=concurrency)
+                else:
+                    rate = args.rate if args.rate is not None else 200.0
+                    load = open_loop(target, images, requests=requests,
+                                     rate_hz=rate, seed=args.seed)
+                report = service.report()
+            if front is not None:
+                gateway_report = front.server.metrics.report()
+        finally:
+            if front is not None:
+                front.close()
 
     print()
     print(format_table([load.flat_row()],
@@ -655,6 +745,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     histogram = report["batches"]["size_histogram"]
     if histogram:
         print(format_table([histogram], title="Micro-batch size distribution"))
+    if gateway_report is not None:
+        print(format_table([_gateway_flat_row(gateway_report)],
+                           title="Gateway front-door metrics"))
     if load.failed:
         print(f"error: {load.failed} requests failed", file=sys.stderr)
         return 1
@@ -677,6 +770,7 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
     # the writer thread only starts inside the `with obs` block below.
     obs = (_ObsSession(args.obs, artifact.spec.name, lambda: router.report())
            if args.obs else nullcontext())
+    gateway_report = None
     with Router(args.artifact, workers=workers, policy=policy, routing=routing,
                 warmup=serve_spec.warmup,
                 pool_capacity=serve_spec.pool_capacity) as router:
@@ -692,15 +786,39 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
             # only (the single-worker path uses a throwaway service for this).
             router.metrics.reset()
 
-        with obs:
-            if args.mode == "closed":
-                load = closed_loop(router, images, requests=requests,
-                                   concurrency=concurrency)
-            else:
-                rate = args.rate if args.rate is not None else 200.0
-                load = open_loop(router, images, requests=requests, rate_hz=rate,
-                                 seed=args.seed)
-            report = router.report()
+        try:
+            front = _GatewayFront.start_if_requested(args, serve_spec, router)
+        except (OSError, ValueError) as error:
+            print(f"error: could not start gateway: {error}", file=sys.stderr)
+            return 2
+        target = front.client if front is not None else router
+        try:
+            if front is not None:
+                print(f"gateway listening on "
+                      f"{front.server.host}:{front.server.port}")
+                wire = front.client.submit_many(images)
+                inproc = router.submit_many(images)
+                identical = max_abs_output_diff(wire, inproc) == 0.0
+                print(f"gateway wire client vs in-process submit_many: "
+                      f"{'bit-identical OK' if identical else 'MISMATCH'}")
+                if not identical:
+                    return 1
+                router.metrics.reset()
+                front.server.metrics.reset()
+            with obs:
+                if args.mode == "closed":
+                    load = closed_loop(target, images, requests=requests,
+                                       concurrency=concurrency)
+                else:
+                    rate = args.rate if args.rate is not None else 200.0
+                    load = open_loop(target, images, requests=requests,
+                                     rate_hz=rate, seed=args.seed)
+                report = router.report()
+            if front is not None:
+                gateway_report = front.server.metrics.report()
+        finally:
+            if front is not None:
+                front.close()
 
     print()
     print(format_table([load.flat_row()],
@@ -721,6 +839,9 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
         })
     if worker_rows:
         print(format_table(worker_rows, title="Per-worker breakdown"))
+    if gateway_report is not None:
+        print(format_table([_gateway_flat_row(gateway_report)],
+                           title="Gateway front-door metrics"))
     if load.failed:
         print(f"error: {load.failed} requests failed", file=sys.stderr)
         return 1

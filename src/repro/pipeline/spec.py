@@ -27,6 +27,11 @@ SpecT = TypeVar("SpecT", bound="_SpecNode")
 #: asserted to match this tuple (the spec layer must not import serving).
 ROUTING_POLICY_NAMES = ("round-robin", "least-outstanding", "model-affinity")
 
+#: Request priority classes a GatewaySpec may configure, best first.  Same
+#: contract pattern as ROUTING_POLICY_NAMES: repro.serving.api asserts its
+#: scheduler classes match this tuple (the spec layer must not import serving).
+PRIORITY_CLASS_NAMES = ("high", "normal", "low")
+
 
 class _SpecNode:
     """Shared dict/JSON plumbing for every spec dataclass."""
@@ -236,6 +241,71 @@ class EvaluationSpec(_SpecNode):
 
 
 @dataclass
+class GatewaySpec(_SpecNode):
+    """Network gateway configuration nested inside :class:`ServeSpec`.
+
+    Consumed by ``repro serve --gateway`` and
+    :class:`repro.serving.gateway.GatewayServer`: where to listen, the
+    per-client admission-control knobs (token bucket + in-flight bound) and
+    the per-priority-class SLO deadlines applied to requests that do not
+    carry their own ``deadline_ms``.
+    """
+
+    #: Marks the artifact as intended for network serving (informational,
+    #: like ServeSpec.enabled: `repro serve --gateway` serves any artifact).
+    enabled: bool = False
+    #: Listen address; port 0 binds an ephemeral port (tests, smoke runs).
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Per-client token-bucket refill rate in requests/s; 0 disables the
+    #: rate limiter (the in-flight bound still applies).
+    rate_limit_rps: float = 0.0
+    #: Token-bucket capacity (burst size) when the rate limiter is on.
+    burst: int = 32
+    #: Bound on one client's simultaneously in-flight requests.
+    max_inflight_per_client: int = 64
+    #: Priority class assigned to requests that do not name one.
+    default_priority: str = "normal"
+    #: Per-class SLO deadline in ms applied when a request carries none
+    #: (e.g. {"high": 50.0}); classes absent here get no implied deadline.
+    slo_ms: Dict[str, float] = field(default_factory=dict)
+    #: Reject frames larger than this many MiB (malformed/hostile input).
+    max_frame_mb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"GatewaySpec.port must be in [0, 65535], got {self.port}")
+        if not self.host:
+            raise ValueError("GatewaySpec.host must be non-empty")
+        if self.rate_limit_rps < 0:
+            raise ValueError(
+                f"GatewaySpec.rate_limit_rps must be >= 0, got {self.rate_limit_rps}")
+        if self.burst < 1:
+            raise ValueError(f"GatewaySpec.burst must be >= 1, got {self.burst}")
+        if self.max_inflight_per_client < 1:
+            raise ValueError(
+                f"GatewaySpec.max_inflight_per_client must be >= 1, "
+                f"got {self.max_inflight_per_client}")
+        if self.default_priority not in PRIORITY_CLASS_NAMES:
+            raise ValueError(
+                f"GatewaySpec.default_priority must be one of "
+                f"{list(PRIORITY_CLASS_NAMES)}, got {self.default_priority!r}")
+        if self.max_frame_mb <= 0:
+            raise ValueError(
+                f"GatewaySpec.max_frame_mb must be > 0, got {self.max_frame_mb}")
+        self.slo_ms = dict(self.slo_ms)
+        for name, value in self.slo_ms.items():
+            if name not in PRIORITY_CLASS_NAMES:
+                raise ValueError(
+                    f"GatewaySpec.slo_ms key {name!r} is not a priority class "
+                    f"(expected one of {list(PRIORITY_CLASS_NAMES)})")
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"GatewaySpec.slo_ms[{name!r}] must be a positive number "
+                    f"of milliseconds, got {value!r}")
+
+
+@dataclass
 class ServeSpec(_SpecNode):
     """Serving defaults baked into an artifact (consumed by ``repro serve``).
 
@@ -269,6 +339,8 @@ class ServeSpec(_SpecNode):
     workers: int = 1
     #: Cluster routing policy (see repro.serving.cluster.available_routing_policies).
     routing: str = "round-robin"
+    #: Network gateway configuration (repro serve --gateway / GatewayServer).
+    gateway: GatewaySpec = field(default_factory=GatewaySpec)
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:

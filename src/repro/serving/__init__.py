@@ -18,13 +18,22 @@ real-time claim:
   detection postprocessing (:func:`make_yolo_postprocess`),
 * :mod:`repro.serving.metrics` — :class:`ServingMetrics`, p50/p95/p99 latency,
   throughput, queue depth and batch-size distribution as plain dicts,
-* :mod:`repro.serving.loadgen` — closed-loop and Poisson open-loop synthetic
-  load generators returning :class:`LoadReport` (they target any
-  :class:`InferenceTarget`: one service or a whole cluster),
+* :mod:`repro.serving.api` — the formal :class:`InferenceTarget` protocol
+  (``submit`` / ``submit_many`` / ``shutdown`` / ``stats``) and the priority
+  classes every implementation schedules by,
+* :mod:`repro.serving.errors` — the unified exception hierarchy with stable
+  wire codes (:class:`QueueFullError`, :class:`DeadlineExceededError`, ...),
+* :mod:`repro.serving.loadgen` — closed-loop, Poisson open-loop and
+  mixed-priority synthetic load generators (they target any
+  :class:`InferenceTarget`: a service, a cluster, or a gateway client),
 * :mod:`repro.serving.cluster` — the multi-process cluster: worker processes
   each hosting a full service behind a pickle-free ndarray pipe, a
   :class:`Router` with pluggable policies, heartbeat-supervised restart with
-  in-flight re-dispatch, and :class:`ClusterMetrics`.
+  in-flight re-dispatch, and :class:`ClusterMetrics`,
+* :mod:`repro.serving.gateway` — the network front door: a
+  :class:`GatewayServer` speaking length-prefixed array frames over TCP with
+  per-client admission control, priority classes and deadline propagation,
+  and the matching wire-level :class:`GatewayClient`.
 
 Quick use::
 
@@ -43,6 +52,13 @@ or from the command line::
         --requests 64 --concurrency 8
 """
 
+from repro.serving.api import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    InferenceTarget,
+    priority_index,
+    priority_name,
+)
 from repro.serving.batcher import (
     BatchPolicy,
     DynamicBatcher,
@@ -58,21 +74,40 @@ from repro.serving.cluster import (
     WorkerUnavailableError,
     available_routing_policies,
 )
+from repro.serving.errors import (
+    AdmissionRejectedError,
+    BadRequestError,
+    DeadlineExceededError,
+    ServingError,
+)
+from repro.serving.gateway import GatewayClient, GatewayServer
 from repro.serving.loadgen import (
-    InferenceTarget,
+    ClassLoad,
+    ClassReport,
     LoadReport,
     closed_loop,
+    mixed_priority_load,
     open_loop,
     poisson_gaps,
 )
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import GatewayMetrics, ServingMetrics
 from repro.serving.pool import ModelPool, PooledModel, as_batch_callable
 from repro.serving.service import InferenceService, make_yolo_postprocess
 
 __all__ = [
+    "DEFAULT_PRIORITY",
+    "PRIORITY_CLASSES",
+    "AdmissionRejectedError",
+    "BadRequestError",
     "BatchPolicy",
+    "ClassLoad",
+    "ClassReport",
     "ClusterMetrics",
+    "DeadlineExceededError",
     "DynamicBatcher",
+    "GatewayClient",
+    "GatewayMetrics",
+    "GatewayServer",
     "InferenceFuture",
     "InferenceService",
     "InferenceTarget",
@@ -83,6 +118,7 @@ __all__ = [
     "RemoteInferenceError",
     "Router",
     "ServiceClosedError",
+    "ServingError",
     "ServingMetrics",
     "WorkerProcess",
     "WorkerUnavailableError",
@@ -90,6 +126,9 @@ __all__ = [
     "available_routing_policies",
     "closed_loop",
     "make_yolo_postprocess",
+    "mixed_priority_load",
     "open_loop",
     "poisson_gaps",
+    "priority_index",
+    "priority_name",
 ]

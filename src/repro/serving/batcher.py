@@ -15,42 +15,66 @@ non-blocking :meth:`~DynamicBatcher.submit` raises :class:`QueueFullError`
 instead of buffering unboundedly (admission control); ``block=True`` turns the
 same bound into producer backpressure.  Shutdown drains: every request admitted
 before :meth:`~DynamicBatcher.shutdown` is executed and resolved — nothing is
-dropped.
+dropped (except requests whose deadline expires, see below).
+
+SLO-aware scheduling (the gateway PR)
+-------------------------------------
+Requests carry a **priority class** and an optional **deadline**:
+
+* the queue is a priority heap ordered by ``(class rank, admission order)``
+  — between GEMMs the worker refills the next micro-batch from the highest
+  class first (continuous batching), so a ``high`` request admitted while a
+  batch executes jumps ahead of queued ``low`` work,
+* a request whose ``deadline_ms`` already passed — or would pass during the
+  queue's *expected wait* (queue depth × mean batch duration) — is rejected
+  at admission with :class:`DeadlineExceededError` instead of being queued,
+* a request that expires while queued is **dropped** (its future fails with
+  :class:`DeadlineExceededError`) rather than executed; the batcher re-checks
+  immediately before execution, so an expired request never reaches a GEMM,
+* when the queue is full, an arriving request may **preempt** the newest
+  queued request of a strictly lower class (the victim's future fails with
+  :class:`AdmissionRejectedError`) — under overload the low class absorbs
+  the rejections while the high class keeps its SLO.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.runner import RunnerStats, _split_outputs
 from repro.obs.tracing import TraceContext
+from repro.serving.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    WorkerUnavailableError,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.utils.logging import get_logger
 
+__all__ = [
+    "BatchPolicy",
+    "DynamicBatcher",
+    "InferenceFuture",
+    "QueueFullError",
+    "ServiceClosedError",
+    "WorkerUnavailableError",
+    "submit_stack",
+]
+
 logger = get_logger("serving.batcher")
 
-
-class QueueFullError(RuntimeError):
-    """Raised on admission when the request queue is at ``queue_capacity``."""
-
-
-class ServiceClosedError(RuntimeError):
-    """Raised on admission after the batcher/service has been shut down."""
-
-
-class WorkerUnavailableError(RuntimeError):
-    """A submit targeted a worker (or cluster) with no live process.
-
-    Lives here, next to the other admission errors, so the load generators and
-    the cluster layer share one exception home without loadgen importing
-    upward from :mod:`repro.serving.cluster`.
-    """
+# QueueFullError / ServiceClosedError / WorkerUnavailableError were defined
+# here before repro.serving.errors unified the hierarchy; the imports above
+# double as deprecation aliases so historical import paths keep working.
 
 
 @dataclass
@@ -65,7 +89,7 @@ class BatchPolicy:
         queued right now) — lowest latency, least batching.
     queue_capacity:
         Bound of the admission queue; beyond it, non-blocking submits are
-        rejected with :class:`QueueFullError`.
+        rejected with :class:`QueueFullError` (or preempt a lower class).
     """
 
     max_batch_size: int = 8
@@ -88,6 +112,9 @@ class InferenceFuture:
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
+        self._callback_lock = threading.Lock()
+        #: Pending done-callbacks; ``None`` once resolution drained them.
+        self._callbacks: Optional[List[Callable[["InferenceFuture"], None]]] = []
         #: ``time.perf_counter()`` at resolution (for client-side latency math).
         self.resolved_at: Optional[float] = None
         #: The request's :class:`repro.obs.TraceContext` when tracing is armed
@@ -111,16 +138,42 @@ class InferenceFuture:
             raise TimeoutError("inference request did not complete in time")
         return self._error
 
+    def add_done_callback(self, callback: Callable[["InferenceFuture"], None]) -> None:
+        """Call ``callback(self)`` when resolved (immediately if it already is).
+
+        Callbacks run on the resolving thread (the batcher worker, a cluster
+        receiver, or a gateway reader) and must be cheap and non-blocking —
+        the async gateway uses this to hop results back onto its event loop
+        without parking a thread per outstanding request.
+        """
+        with self._callback_lock:
+            if self._callbacks is not None:
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
     # ------------------------------------------------------------------ internal
     def _resolve(self, result: Any) -> None:
         self._result = result
         self.resolved_at = time.perf_counter()
         self._event.set()
+        self._run_callbacks()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self.resolved_at = time.perf_counter()
         self._event.set()
+        self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks = self._callbacks
+            self._callbacks = None
+        for callback in callbacks or ():
+            try:
+                callback(self)
+            except Exception:  # pragma: no cover - callbacks must not kill resolvers
+                logger.exception("InferenceFuture done-callback raised")
 
 
 def submit_stack(submit_one: Callable[[np.ndarray], "InferenceFuture"],
@@ -130,9 +183,9 @@ def submit_stack(submit_one: Callable[[np.ndarray], "InferenceFuture"],
     Splits an ``(N, C, H, W)`` ndarray (or accepts a sequence of images),
     submits every image through ``submit_one`` (expected to block for
     backpressure) and waits for all results in request order.  Shared by
-    :meth:`InferenceService.submit_many` and the cluster
-    :meth:`Router.submit_many` so the stack-splitting and ordering semantics
-    cannot drift apart.
+    :meth:`InferenceService.submit_many`, the cluster :meth:`Router.submit_many`
+    and the gateway :meth:`GatewayClient.submit_many` so the stack-splitting
+    and ordering semantics cannot drift apart.
     """
     if isinstance(images, np.ndarray):
         if images.ndim != 4:
@@ -146,18 +199,27 @@ def submit_stack(submit_one: Callable[[np.ndarray], "InferenceFuture"],
 
 
 class _Request:
-    """One queued image plus its future and admission timestamp."""
+    """One queued image plus its future, priority, deadline and timestamps."""
 
     __slots__ = ("image", "future", "enqueued_at", "trace", "enqueued_wall",
-                 "popped_wall")
+                 "popped_wall", "priority", "cls", "deadline", "seq")
 
     def __init__(self, image: np.ndarray,
-                 trace: Optional[TraceContext] = None) -> None:
+                 trace: Optional[TraceContext] = None,
+                 priority: int = 1, cls: str = "normal",
+                 deadline: Optional[float] = None, seq: int = 0) -> None:
         self.image = image
         self.future = InferenceFuture()
         self.future.trace = trace
         self.enqueued_at = time.perf_counter()
         self.trace = trace
+        #: Scheduling rank (0 = best class) and its class name (for metrics).
+        self.priority = priority
+        self.cls = cls
+        #: Absolute ``perf_counter`` deadline, or None for no latency budget.
+        self.deadline = deadline
+        #: Admission sequence number: FIFO order within one priority class.
+        self.seq = seq
         # Wall-clock (epoch) twins of the perf_counter timestamps, recorded
         # only for traced requests: spans must be comparable across processes.
         self.enqueued_wall = time.time() if trace is not None else 0.0
@@ -165,7 +227,7 @@ class _Request:
 
 
 class DynamicBatcher:
-    """Thread-safe request queue + micro-batch executor.
+    """Thread-safe priority request queue + micro-batch executor.
 
     Parameters
     ----------
@@ -214,7 +276,11 @@ class DynamicBatcher:
         self.name = name
         self.stats = RunnerStats()
 
-        self._queue: Deque[_Request] = deque()
+        # Priority heap of (rank, seq, request): rank orders by class, seq
+        # keeps FIFO order within a class (and makes the tuple comparison
+        # never reach the request object).
+        self._queue: List[Tuple[int, int, _Request]] = []
+        self._seq = itertools.count()
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
         self._space_available = threading.Condition(self._lock)
@@ -230,18 +296,47 @@ class DynamicBatcher:
         with self._lock:
             return len(self._queue)
 
+    def expected_wait_seconds(self) -> float:
+        """Estimated queueing delay of a request admitted right now.
+
+        Queue depth in batches × the mean executed-batch duration so far; the
+        admission-time deadline feasibility check uses it.  Returns 0.0 until
+        the first batch completes (no estimate beats a wrong estimate).
+        """
+        with self._lock:
+            return self._expected_wait_locked()
+
+    def _expected_wait_locked(self) -> float:  # reprolint: holds=_lock
+        mean = self.stats.mean_batch_seconds
+        if mean <= 0.0:
+            return 0.0
+        return (len(self._queue) / self.policy.max_batch_size) * mean
+
     def submit(self, image: np.ndarray, block: bool = False,
                timeout: Optional[float] = None,
-               trace: Optional[TraceContext] = None) -> InferenceFuture:
+               trace: Optional[TraceContext] = None,
+               priority: str = "normal",
+               deadline_ms: Optional[float] = None) -> InferenceFuture:
         """Admit one image; returns its :class:`InferenceFuture`.
 
         ``image`` is a single ``(C, H, W)`` image (a ``(1, C, H, W)`` array is
         squeezed).  Non-blocking submits raise :class:`QueueFullError` when the
-        queue is at capacity; ``block=True`` waits for space instead
-        (backpressure), raising :class:`TimeoutError` after ``timeout`` seconds.
+        queue is at capacity (unless a lower-priority victim can be preempted);
+        ``block=True`` waits for space instead (backpressure), raising
+        :class:`TimeoutError` after ``timeout`` seconds.
+
+        ``priority`` is a class name from
+        :data:`repro.serving.api.PRIORITY_CLASSES`; ``deadline_ms`` is the
+        request's remaining latency budget — infeasible budgets are rejected
+        here with :class:`DeadlineExceededError` and queued requests that
+        outlive theirs are dropped, never executed.
+
         ``trace`` (when tracing is armed) rides the request: the batcher closes
         its queue-wait / batch-assembly / worker-execute / postprocess spans.
         """
+        from repro.serving.api import priority_index
+
+        rank = priority_index(priority)
         image = np.ascontiguousarray(image, dtype=np.float32)
         if image.ndim == 4:
             if image.shape[0] != 1:
@@ -251,6 +346,15 @@ class DynamicBatcher:
             image = image[0]
         if image.ndim != 3:
             raise ValueError(f"expected a (C, H, W) image, got shape {image.shape}")
+
+        request_deadline: Optional[float] = None
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                if self.metrics is not None:
+                    self.metrics.record_rejection(reason="deadline", priority=priority)
+                raise DeadlineExceededError(
+                    f"deadline_ms={deadline_ms} already expired at admission")
+            request_deadline = time.perf_counter() + deadline_ms / 1e3
 
         with self._lock:
             if self._closed:
@@ -262,11 +366,23 @@ class DynamicBatcher:
                     f"image shape {image.shape} does not match the shape this "
                     f"batcher serves {self._image_shape} (one batcher serves one "
                     "input signature)")
+            if request_deadline is not None:
+                expected = self._expected_wait_locked()
+                if expected > deadline_ms / 1e3:
+                    if self.metrics is not None:
+                        self.metrics.record_rejection(reason="deadline",
+                                                      priority=priority)
+                    raise DeadlineExceededError(
+                        f"expected queue wait {expected * 1e3:.1f}ms exceeds the "
+                        f"request deadline {deadline_ms:.1f}ms")
             deadline = None if timeout is None else time.perf_counter() + timeout
             while len(self._queue) >= self.policy.queue_capacity:
+                if self._preempt_locked(rank):
+                    break           # a lower-class victim made room
                 if not block:
                     if self.metrics is not None:
-                        self.metrics.record_rejection()
+                        self.metrics.record_rejection(reason="queue_full",
+                                                      priority=priority)
                     raise QueueFullError(
                         f"{self.name} queue is full "
                         f"({self.policy.queue_capacity} requests waiting)")
@@ -282,57 +398,152 @@ class DynamicBatcher:
                         f"timed out waiting for space in the {self.name} queue")
                 if self._closed:
                     raise ServiceClosedError(f"{self.name} has been shut down")
-            request = _Request(image, trace)
-            self._queue.append(request)
+            request = _Request(image, trace, priority=rank, cls=priority,
+                               deadline=request_deadline, seq=next(self._seq))
+            heapq.heappush(self._queue, (request.priority, request.seq, request))
             depth = len(self._queue)
             self._work_available.notify()
         if self.metrics is not None:
             self.metrics.record_admission(depth)
         return request.future
 
+    def _preempt_locked(self, rank: int) -> bool:  # reprolint: holds=_lock
+        """Evict the newest queued request of a strictly lower class than ``rank``.
+
+        Returns True when a victim was evicted (its future fails with
+        :class:`AdmissionRejectedError`), freeing one queue slot for the
+        higher-class request being admitted.  SLO-aware overload behaviour:
+        the low class absorbs the rejections, the high class keeps flowing.
+        """
+        victim_entry = None
+        for entry in self._queue:
+            if entry[2].priority <= rank:
+                continue
+            if victim_entry is None or entry[:2] > victim_entry[:2]:
+                victim_entry = entry
+        if victim_entry is None:
+            return False
+        self._queue.remove(victim_entry)
+        heapq.heapify(self._queue)
+        victim = victim_entry[2]
+        if self.metrics is not None:
+            self.metrics.record_rejection(reason="preempted", priority=victim.cls)
+        victim.future._fail(AdmissionRejectedError(
+            f"{self.name}: preempted from a full queue by a higher-priority "
+            f"admission (class {victim.cls!r})"))
+        if victim.trace is not None:
+            victim.trace.record("preempted", victim.enqueued_wall, cls=victim.cls)
+            victim.trace.finish()
+        return True
+
     # ------------------------------------------------------------------ worker
+    def _drop_expired(self, request: _Request, now_wall: float) -> None:
+        """Fail an expired request (never executed) and close its trace."""
+        if self.metrics is not None:
+            self.metrics.record_expiry(priority=request.cls)
+        waited_ms = (time.perf_counter() - request.enqueued_at) * 1e3
+        request.future._fail(DeadlineExceededError(
+            f"{self.name}: deadline expired after {waited_ms:.1f}ms in queue "
+            f"(class {request.cls!r}); request dropped, not executed"))
+        if request.trace is not None:
+            start = request.enqueued_wall or now_wall
+            request.trace.record("deadline-expired", start, now_wall,
+                                 cls=request.cls)
+            request.trace.finish()
+
     def _collect_batch(self) -> List[_Request]:
         """Block until work exists, then coalesce one micro-batch (policy-bound).
+
+        Requests pop in priority order (class rank, then admission order) and
+        expired requests are dropped on the way out — the batch that reaches
+        :meth:`_execute` holds only live work, refilled from the best class
+        first between GEMMs (continuous batching).
 
         Returns an empty list exactly once: when the batcher is closed and the
         queue is fully drained, signalling the worker to exit.
         """
         policy = self.policy
-        with self._lock:
-            while not self._queue and not self._closed:
-                self._work_available.wait()
-            if not self._queue:
-                return []
-            batch = [self._pop_request()]
-            deadline = batch[0].enqueued_at + policy.max_wait_ms / 1e3
-            while len(batch) < policy.max_batch_size:
-                if self._queue:
-                    batch.append(self._pop_request())
-                    continue
-                if self._closed:
-                    break
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    break
-                self._work_available.wait(remaining)
-            self._space_available.notify(len(batch))
-        assembled = time.time()
-        for request in batch:
-            trace = request.trace
-            if trace is not None:
-                trace.record("queue-wait", request.enqueued_wall,
-                             request.popped_wall)
-                trace.record("batch-assembly", request.popped_wall, assembled)
-        return batch
+        while True:
+            expired: List[_Request] = []
+            batch: List[_Request] = []
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._work_available.wait()
+                if not self._queue:
+                    return []
+                # Seed the batch with the best live request, dropping expired
+                # ones on the way; the whole queue may turn out to be dead.
+                while self._queue and not batch:
+                    request = self._pop_request()
+                    if self._expired(request):
+                        expired.append(request)
+                    else:
+                        batch.append(request)
+                if batch:
+                    deadline = batch[0].enqueued_at + policy.max_wait_ms / 1e3
+                    while len(batch) < policy.max_batch_size:
+                        if self._queue:
+                            request = self._pop_request()
+                            if self._expired(request):
+                                expired.append(request)
+                                continue
+                            batch.append(request)
+                            continue
+                        if self._closed:
+                            break
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            break
+                        self._work_available.wait(remaining)
+                self._space_available.notify(len(batch) + len(expired))
+            # Futures resolve outside the queue lock (done-callbacks run here).
+            self._finish_expired(expired)
+            if not batch:
+                continue     # everything popped had expired; block for work again
+            assembled = time.time()
+            for request in batch:
+                trace = request.trace
+                if trace is not None:
+                    trace.record("queue-wait", request.enqueued_wall,
+                                 request.popped_wall)
+                    trace.record("batch-assembly", request.popped_wall, assembled)
+            return batch
+
+    @staticmethod
+    def _expired(request: _Request) -> bool:
+        return (request.deadline is not None
+                and time.perf_counter() > request.deadline)
+
+    def _finish_expired(self, expired: List[_Request]) -> None:
+        """Resolve dropped requests outside the queue lock (callbacks run here)."""
+        if not expired:
+            return
+        now_wall = time.time()
+        for request in expired:
+            self._drop_expired(request, now_wall)
 
     def _pop_request(self) -> _Request:  # reprolint: holds=_lock
-        """Dequeue one request (lock held); stamps the pop time when traced."""
-        request = self._queue.popleft()
+        """Dequeue the best request (lock held); stamps the pop time when traced."""
+        _, _, request = heapq.heappop(self._queue)
         if request.trace is not None:
             request.popped_wall = time.time()
         return request
 
     def _execute(self, batch: List[_Request]) -> None:
+        # Last line of deadline defence: a request that expired between batch
+        # assembly and this point is dropped here — an expired request is
+        # *never* part of an executed GEMM.
+        if any(self._expired(request) for request in batch):
+            live: List[_Request] = []
+            now_wall = time.time()
+            for request in batch:
+                if self._expired(request):
+                    self._drop_expired(request, now_wall)
+                else:
+                    live.append(request)
+            batch = live
+        if not batch:
+            return
         started = time.perf_counter()
         traced = any(request.trace is not None for request in batch)
         exec_started_wall = time.time() if traced else 0.0
@@ -416,7 +627,8 @@ class DynamicBatcher:
         """Stop admissions, drain the queue, join the worker (idempotent).
 
         Every already-admitted request is executed and its future resolved
-        before the worker exits — flush-on-shutdown never drops requests.
+        before the worker exits — flush-on-shutdown never drops requests
+        (expired-deadline requests are still dropped, per contract).
         """
         with self._lock:
             self._closed = True

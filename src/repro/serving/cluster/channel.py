@@ -96,6 +96,60 @@ class Message:
     arrays: List[np.ndarray] = field(default_factory=list)
 
 
+def encode_frame(
+    kind: str,
+    meta: Optional[Dict[str, Any]] = None,
+    arrays: Sequence[np.ndarray] = (),
+) -> bytes:
+    """Encode one message as its wire payload (the ``ArrayChannel`` format).
+
+    This is the single definition of the frame layout — the cluster pipe
+    ships the payload via ``Connection.send_bytes`` and the TCP gateway adds
+    its own outer 4-byte length prefix, but both ends decode with
+    :func:`decode_frame`, so the formats cannot drift.
+    """
+    # Contiguous staging is the wire-format boundary: already-contiguous
+    # arrays (the usual case) pass through as zero-copy views.
+    buffers = [np.ascontiguousarray(array) for array in arrays]  # reprolint: disable=hot-path-alloc
+    header = {
+        "kind": kind,
+        "meta": meta or {},
+        "arrays": [{"dtype": b.dtype.str, "shape": list(b.shape)} for b in buffers],
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    # memoryviews keep join() down to one copy (tobytes() would add a
+    # second full copy per array on the per-request hot path).
+    return b"".join(
+        [_HEADER_LEN.pack(len(header_bytes)), header_bytes]
+        + [memoryview(b) for b in buffers]
+    )
+
+
+def decode_frame(frame: bytes) -> Message:
+    """Decode one wire payload produced by :func:`encode_frame`.
+
+    Raises ``KeyError`` / ``ValueError`` / ``struct.error`` /
+    ``json.JSONDecodeError`` on malformed input — callers map those to their
+    transport's failure mode (channel-closed for the pipe, an error frame for
+    the gateway).
+    """
+    (header_len,) = _HEADER_LEN.unpack_from(frame)
+    header = json.loads(frame[4 : 4 + header_len].decode("utf-8"))
+    arrays: List[np.ndarray] = []
+    offset = 4 + header_len
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        count = int(np.prod(shape, dtype=np.int64))
+        array = np.frombuffer(frame, dtype=dtype, count=count, offset=offset)
+        # Copy out of the frame: frombuffer views are read-only (futures
+        # must resolve to writable arrays, same as in-process serving)
+        # and would otherwise pin the whole received frame in memory.
+        arrays.append(array.reshape(shape).copy())  # reprolint: disable=hot-path-alloc
+        offset += dtype.itemsize * count
+    return Message(kind=header["kind"], meta=header["meta"], arrays=arrays)
+
+
 class ArrayChannel:
     """Length-prefixed JSON-header + raw-ndarray framing over a ``Connection``."""
 
@@ -110,21 +164,7 @@ class ArrayChannel:
         arrays: Sequence[np.ndarray] = (),
     ) -> None:
         """Send one message; raises :class:`ChannelClosedError` if the peer is gone."""
-        # Contiguous staging is the wire-format boundary: already-contiguous
-        # arrays (the usual case) pass through as zero-copy views.
-        buffers = [np.ascontiguousarray(array) for array in arrays]  # reprolint: disable=hot-path-alloc
-        header = {
-            "kind": kind,
-            "meta": meta or {},
-            "arrays": [{"dtype": b.dtype.str, "shape": list(b.shape)} for b in buffers],
-        }
-        header_bytes = json.dumps(header).encode("utf-8")
-        # memoryviews keep join() down to one copy (tobytes() would add a
-        # second full copy per array on the per-request hot path).
-        frame = b"".join(
-            [_HEADER_LEN.pack(len(header_bytes)), header_bytes]
-            + [memoryview(b) for b in buffers]
-        )
+        frame = encode_frame(kind, meta, arrays)
         try:
             with self._send_lock:
                 self._connection.send_bytes(frame)
@@ -141,24 +181,10 @@ class ArrayChannel:
             # Connection while this one was blocked in recv.
             raise ChannelClosedError(f"peer went away: {error}") from error
         try:
-            (header_len,) = _HEADER_LEN.unpack_from(frame)
-            header = json.loads(frame[4 : 4 + header_len].decode("utf-8"))
-            arrays: List[np.ndarray] = []
-            offset = 4 + header_len
-            for spec in header["arrays"]:
-                dtype = np.dtype(spec["dtype"])
-                shape = tuple(spec["shape"])
-                count = int(np.prod(shape, dtype=np.int64))
-                array = np.frombuffer(frame, dtype=dtype, count=count, offset=offset)
-                # Copy out of the frame: frombuffer views are read-only (futures
-                # must resolve to writable arrays, same as in-process serving)
-                # and would otherwise pin the whole received frame in memory.
-                arrays.append(array.reshape(shape).copy())  # reprolint: disable=hot-path-alloc
-                offset += dtype.itemsize * count
+            return decode_frame(frame)
         except (KeyError, ValueError, struct.error, json.JSONDecodeError) as error:
             # A frame truncated by a dying peer is indistinguishable from EOF.
             raise ChannelClosedError(f"malformed frame from peer: {error}") from error
-        return Message(kind=header["kind"], meta=header["meta"], arrays=arrays)
 
     def poll(self, timeout: float = 0.0) -> bool:
         """True when a frame is ready to :meth:`recv` within ``timeout`` seconds."""

@@ -37,12 +37,14 @@ import numpy as np
 from repro.engine.runner import _concat_outputs
 from repro.obs.tracing import TraceContext, mint_trace
 from repro.pipeline.spec import ROUTING_POLICY_NAMES
+from repro.serving.api import DEFAULT_PRIORITY, priority_index
 from repro.serving.batcher import (
     BatchPolicy,
     InferenceFuture,
     ServiceClosedError,
     submit_stack,
 )
+from repro.serving.errors import DeadlineExceededError
 from repro.serving.cluster.metrics import ClusterMetrics
 from repro.serving.cluster.worker import (
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -274,22 +276,38 @@ class Router:
         model: Optional[str] = None,
         block: bool = False,
         timeout: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
+        priority: str = DEFAULT_PRIORITY,
+        deadline_ms: Optional[float] = None,
     ) -> InferenceFuture:
         """Route one ``(C, H, W)`` image to a worker; returns its future.
 
         Mirrors :meth:`InferenceService.submit`: non-blocking submits raise
-        :class:`~repro.serving.batcher.QueueFullError` under overload; blocking
+        :class:`~repro.serving.errors.QueueFullError` under overload; blocking
         submits wait for queue space (and survive a worker restart mid-wait).
+        ``priority`` and ``deadline_ms`` cross the pipe in the frame header —
+        the budget is pinned to an absolute deadline *here*, once, so routing
+        delay, worker queueing and even a restart re-dispatch all spend the
+        same clock (the worker sees only the remaining milliseconds).
 
         When tracing is armed each submit mints a
         :class:`~repro.obs.tracing.TraceContext` whose id crosses the pipe to
-        the chosen worker; the completed trace (router-dispatch plus the
-        worker's queue/batch/engine spans) lands in this process's
+        the chosen worker (the gateway passes its own ``trace`` in instead);
+        the completed trace (router-dispatch plus the worker's
+        queue/batch/engine spans) lands in this process's
         :func:`~repro.obs.tracing.get_trace_buffer`.
         """
+        priority_index(priority)       # validate the class name up front
+        request_deadline: Optional[float] = None
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                raise DeadlineExceededError(
+                    f"deadline_ms={deadline_ms} already expired at admission")
+            request_deadline = time.perf_counter() + deadline_ms / 1e3
         return self._dispatch(
             image, model=model, block=block, timeout=timeout, future=None,
-            trace=mint_trace())
+            trace=trace if trace is not None else mint_trace(),
+            priority=priority, request_deadline=request_deadline)
 
     def _dispatch(
         self,
@@ -300,6 +318,8 @@ class Router:
         future: Optional[InferenceFuture],
         submitted_at: Optional[float] = None,
         trace: Optional[TraceContext] = None,
+        priority: str = DEFAULT_PRIORITY,
+        request_deadline: Optional[float] = None,
     ) -> InferenceFuture:
         """Routing loop shared by client submits and monitor re-dispatch."""
         deadline = None if timeout is None else time.perf_counter() + timeout
@@ -342,6 +362,8 @@ class Router:
                     future=future,
                     submitted_at=submitted_at,
                     trace=trace,
+                    priority=priority,
+                    request_deadline=request_deadline,
                 )
             except WorkerUnavailableError:
                 continue  # the worker died between select and submit; re-route
@@ -485,6 +507,8 @@ class Router:
                     future=request.future,
                     submitted_at=request.submitted_at,
                     trace=request.trace,
+                    priority=request.priority,
+                    request_deadline=request.deadline,
                 )
             except BaseException as error:
                 request.future._fail(error)
@@ -506,3 +530,7 @@ class Router:
                 services[worker.worker_id] = stats
         report["worker_services"] = services
         return report
+
+    def stats(self) -> Dict[str, Any]:
+        """:class:`~repro.serving.api.InferenceTarget` alias of :meth:`report`."""
+        return self.report()

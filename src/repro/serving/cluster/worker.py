@@ -51,6 +51,13 @@ from repro.serving.cluster.channel import (
     flatten_arrays,
     unflatten_arrays,
 )
+from repro.serving.errors import (
+    DeadlineExceededError,
+    RemoteInferenceError,
+    WIRE_ERRORS,
+    error_code,
+    error_from_wire,
+)
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.cluster.worker")
@@ -61,9 +68,9 @@ START_METHOD_ENV = "REPRO_CLUSTER_START_METHOD"
 #: Seconds between child heartbeat frames.
 DEFAULT_HEARTBEAT_INTERVAL = 0.25
 
-
-class RemoteInferenceError(RuntimeError):
-    """An inference request failed *inside* a worker (the model raised)."""
+# RemoteInferenceError used to be defined here; it now lives in
+# repro.serving.errors (imported above) so its wire code is part of the
+# unified hierarchy — the import doubles as the deprecation alias.
 
 
 def _mp_context(start_method: Optional[str]):
@@ -152,7 +159,8 @@ def _worker_main(
             try:
                 result = future.result()
             except BaseException as error:
-                meta = {"id": request_id, "error": str(error), "type": type(error).__name__}
+                meta = {"id": request_id, "error": str(error),
+                        "type": type(error).__name__, "code": error_code(error)}
                 if trace is not None:
                     meta["spans"] = trace.spans_to_wire()
                 try:
@@ -188,16 +196,22 @@ def _worker_main(
                 trace = TraceContext.from_wire(message.meta.get("trace"), buffered=False)
                 try:
                     # block=True: the child's bounded queue pushes back through
-                    # the pipe instead of buffering unboundedly.
+                    # the pipe instead of buffering unboundedly.  Priority and
+                    # the (recomputed-at-send) remaining deadline feed the
+                    # child batcher's SLO scheduler.
                     future = service.submit(
                         message.arrays[0], model=message.meta.get("model"),
                         block=True, trace=trace,
+                        priority=message.meta.get("priority", "normal"),
+                        deadline_ms=message.meta.get("deadline_ms"),
                     )
                 except BaseException as error:
                     try:
                         channel.send(
                             "error",
-                            {"id": request_id, "error": str(error), "type": type(error).__name__},
+                            {"id": request_id, "error": str(error),
+                             "type": type(error).__name__,
+                             "code": error_code(error)},
                         )
                     except ChannelClosedError:
                         break
@@ -232,10 +246,13 @@ def _worker_main(
 class _PendingRequest:
     """Parent-side record of one in-flight request (kept until resolution)."""
 
-    __slots__ = ("future", "image", "model", "submitted_at", "trace")
+    __slots__ = ("future", "image", "model", "submitted_at", "trace",
+                 "priority", "deadline")
 
     def __init__(self, future: InferenceFuture, image: np.ndarray, model: Optional[str],
-                 trace: Optional[TraceContext] = None) -> None:
+                 trace: Optional[TraceContext] = None,
+                 priority: str = "normal",
+                 deadline: Optional[float] = None) -> None:
         self.future = future
         self.image = image
         self.model = model
@@ -243,6 +260,11 @@ class _PendingRequest:
         #: Router-side TraceContext; survives worker death (the record is
         #: re-dispatched with the same trace, so one trace_id covers both legs).
         self.trace = trace
+        #: Priority class + absolute perf_counter deadline: a re-dispatched
+        #: request keeps its class and its *original* budget (the remaining
+        #: milliseconds are recomputed at each send).
+        self.priority = priority
+        self.deadline = deadline
 
 
 class WorkerProcess:
@@ -408,6 +430,8 @@ class WorkerProcess:
         future: Optional[InferenceFuture] = None,
         submitted_at: Optional[float] = None,
         trace: Optional[TraceContext] = None,
+        priority: str = "normal",
+        request_deadline: Optional[float] = None,
     ) -> InferenceFuture:
         """Ship one ``(C, H, W)`` image to the worker; returns its future.
 
@@ -417,9 +441,22 @@ class WorkerProcess:
         admission-to-resolution, including the first, failed leg).  ``trace``
         crosses the pipe as a ``trace_id`` header field; the worker's spans
         come back in the result frame and are absorbed into it.
+
+        ``request_deadline`` is the *absolute* ``perf_counter`` deadline (set
+        once at router admission); the remaining budget is recomputed here at
+        send time so queueing on the parent side eats into it, and a budget
+        that ran out before the frame was even sent fails fast.
         """
         image = np.ascontiguousarray(image, dtype=np.float32)
-        pending = _PendingRequest(future or InferenceFuture(), image, model, trace=trace)
+        remaining_ms: Optional[float] = None
+        if request_deadline is not None:
+            remaining_ms = (request_deadline - time.perf_counter()) * 1e3
+            if remaining_ms <= 0:
+                raise DeadlineExceededError(
+                    f"deadline expired before dispatch to worker {self.worker_id}")
+        pending = _PendingRequest(future or InferenceFuture(), image, model,
+                                  trace=trace, priority=priority,
+                                  deadline=request_deadline)
         if trace is not None:
             pending.future.trace = trace
         if submitted_at is not None:
@@ -447,7 +484,13 @@ class WorkerProcess:
         # completed + failed.
         if self.metrics is not None and future is None:
             self.metrics.record_submit(self.worker_id)
-        meta: Dict[str, Any] = {"id": request_id, "model": model}
+        meta: Dict[str, Any] = {"id": request_id, "model": model,
+                                "priority": priority}
+        if request_deadline is not None:
+            # Recompute the remaining budget as late as possible: parent-side
+            # blocking above may have consumed part of it.
+            meta["deadline_ms"] = max(
+                (request_deadline - time.perf_counter()) * 1e3, 0.001)
         if trace is not None:
             meta["trace"] = trace.to_wire()
         try:
@@ -508,10 +551,19 @@ class WorkerProcess:
                 pending = self._pop(int(message.meta["id"]))
                 if pending is None:
                     continue
-                error = RemoteInferenceError(
+                # A frame stamped with a known wire code rehydrates as the
+                # typed exception (a deadline expiry inside the worker is a
+                # DeadlineExceededError here too); anything else — a genuine
+                # model failure — stays a RemoteInferenceError.
+                code = message.meta.get("code")
+                detail = (
                     f"worker {self.worker_id}: {message.meta.get('type', 'Error')}: "
                     f"{message.meta.get('error', '')}"
                 )
+                if code in WIRE_ERRORS and code != "serving_error":
+                    error: BaseException = error_from_wire(code, detail)
+                else:
+                    error = RemoteInferenceError(detail)
                 pending.future._fail(error)
                 if self.metrics is not None:
                     self.metrics.record_completion(

@@ -1,0 +1,653 @@
+"""The network front door: length-prefixed array frames over TCP, with SLOs.
+
+:class:`GatewayServer` turns any in-process :class:`~repro.serving.api.InferenceTarget`
+(an :class:`~repro.serving.service.InferenceService` or a cluster
+:class:`~repro.serving.cluster.router.Router`) into a socket server; the
+matching :class:`GatewayClient` is itself an ``InferenceTarget``, so a load
+generator pointed at ``host:port`` runs the exact code it runs in-process.
+
+Wire format
+-----------
+One TCP frame is::
+
+    [4-byte !I payload length][ArrayChannel payload]
+
+where the payload is exactly the pickle-free format the cluster pipe already
+speaks (:func:`repro.serving.cluster.channel.encode_frame`): a 4-byte JSON
+header length, the JSON header (``kind`` / ``meta`` / array dtypes+shapes) and
+the raw contiguous array bytes.  Client → server kinds are ``infer``
+(``meta = {id, model?, priority?, deadline_ms?}`` plus one ``(C, H, W)``
+array) and ``stats`` (``meta = {id}``); server → client kinds are ``result``
+(``meta = {id, treedef}`` plus the flattened output arrays), ``error``
+(``meta = {id, code, error}``) and ``stats`` (``meta = {id, report}``).
+``docs/gateway.md`` documents the full protocol.
+
+Scheduling semantics
+--------------------
+The gateway enforces **per-client admission control** — a token bucket
+(``rate_limit_rps`` / ``burst``) plus a bounded in-flight count per
+connection — before a request ever reaches the scheduler; rejections come
+back as typed error frames (stable codes from :mod:`repro.serving.errors`),
+not silent queueing.  ``priority`` and ``deadline_ms`` ride the frame header
+into the batcher's priority queue: an infeasible deadline is rejected up
+front (``deadline_exceeded``), and a request that expires while queued is
+dropped with the same code — never executed.  A class without an explicit
+deadline inherits its SLO from :class:`repro.pipeline.spec.GatewaySpec.slo_ms`.
+
+Observability
+-------------
+When tracing is armed each request is minted a
+:class:`~repro.obs.tracing.TraceContext` and the gateway records
+``gateway-accept`` / ``gateway-parse`` / ``gateway-admission`` /
+``gateway-queue`` / ``gateway-dispatch`` spans around the downstream spans,
+so one trace covers socket to GEMM.  :class:`~repro.serving.metrics.GatewayMetrics`
+counts accepts/rejects/expiries per priority class.
+
+Threading model: the server runs one asyncio loop in a daemon thread; all
+connection state is touched only on that loop.  Futures resolve on batcher /
+cluster-receiver threads and hop back via
+``loop.call_soon_threadsafe`` (the response bytes are encoded on the
+resolving thread — off the loop — so a fat result never stalls other
+connections' reads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.runner import _concat_outputs
+from repro.obs.tracing import TraceContext, mint_trace
+from repro.pipeline.spec import GatewaySpec
+from repro.serving.api import DEFAULT_PRIORITY, priority_index
+from repro.serving.batcher import InferenceFuture, submit_stack
+from repro.serving.cluster.channel import (
+    decode_frame,
+    encode_frame,
+    flatten_arrays,
+    unflatten_arrays,
+)
+from repro.serving.errors import (
+    AdmissionRejectedError,
+    BadRequestError,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServingError,
+    error_code,
+    error_from_wire,
+)
+from repro.serving.metrics import GatewayMetrics
+from repro.utils.logging import get_logger
+
+__all__ = ["GatewayClient", "GatewayServer"]
+
+logger = get_logger("serving.gateway")
+
+_FRAME_LEN = struct.Struct("!I")
+
+
+class _TokenBucket:
+    """Per-connection rate limiter; loop-thread only, so no lock."""
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = float(rate)
+        self.tokens = float(burst)
+        self.burst = float(burst)
+        self._last = time.perf_counter()
+
+    def admit(self) -> bool:
+        """Take one token if available; refills at ``rate`` tokens/second."""
+        if self.rate <= 0:
+            return True              # rate limiting disabled
+        now = time.perf_counter()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens < 1.0:
+            return False
+        self.tokens -= 1.0
+        return True
+
+
+class _Connection:
+    """Loop-thread state of one client connection."""
+
+    __slots__ = ("writer", "queue", "bucket", "inflight", "accepted_wall",
+                 "accept_recorded", "peer")
+
+    def __init__(self, writer: asyncio.StreamWriter, bucket: _TokenBucket) -> None:
+        self.writer = writer
+        #: Outbound frames; a dedicated writer task drains it so slow clients
+        #: only ever stall themselves.
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.bucket = bucket
+        self.inflight = 0
+        self.accepted_wall = time.time()
+        self.accept_recorded = False
+        peer = writer.get_extra_info("peername")
+        self.peer = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else str(peer)
+
+
+class GatewayServer:
+    """Serve an :class:`~repro.serving.api.InferenceTarget` over TCP.
+
+    Parameters
+    ----------
+    target:
+        What to serve: any ``InferenceTarget`` (service or router).  The
+        gateway does **not** own it — callers shut the target down themselves
+        after :meth:`shutdown` returns.
+    spec:
+        The :class:`~repro.pipeline.spec.GatewaySpec` (host/port/limits/SLOs).
+        ``port=0`` binds an ephemeral port; read :attr:`port` after
+        :meth:`start`.
+    metrics:
+        Optional shared :class:`~repro.serving.metrics.GatewayMetrics`.
+    """
+
+    def __init__(self, target: Any, spec: Optional[GatewaySpec] = None,
+                 metrics: Optional[GatewayMetrics] = None,
+                 name: str = "gateway") -> None:
+        self.target = target
+        self.spec = spec or GatewaySpec()
+        self.metrics = metrics or GatewayMetrics(name=name)
+        self.name = name
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._closed = False
+        self._startup_error: Optional[BaseException] = None
+        self._bound: Tuple[str, int] = (self.spec.host, self.spec.port)
+        self._max_frame = int(self.spec.max_frame_mb * 1024 * 1024)
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self, timeout: float = 10.0) -> "GatewayServer":
+        """Bind and serve in a background thread; blocks until listening."""
+        if self._thread is not None:
+            raise RuntimeError("GatewayServer.start() called twice")
+        self._thread = threading.Thread(
+            target=self._run_loop, name=f"repro-{self.name}", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError(f"gateway did not bind within {timeout}s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"gateway failed to bind {self.spec.host}:{self.spec.port}"
+            ) from self._startup_error
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._bound[0]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves ``port=0`` ephemeral binds)."""
+        return self._bound[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self._bound[0]}:{self._bound[1]}"
+
+    def shutdown(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting, close every connection, join the loop (idempotent).
+
+        The downstream ``target`` is left running — the gateway is a front
+        door, not the owner of the model.
+        """
+        if self._closed or self._loop is None:
+            self._closed = True
+            return
+        self._closed = True
+        loop = self._loop
+        try:
+            loop.call_soon_threadsafe(self._shutdown_on_loop)
+        except RuntimeError:  # pragma: no cover - loop already dead
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "GatewayServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ loop thread
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                self._server = loop.run_until_complete(asyncio.start_server(
+                    self._handle_connection, self.spec.host, self.spec.port))
+            except OSError as error:
+                self._startup_error = error
+                return
+            sockname = self._server.sockets[0].getsockname()
+            self._bound = (sockname[0], sockname[1])
+            logger.info("gateway %s listening on %s", self.name, self.address)
+            self._started.set()
+            loop.run_forever()
+        finally:
+            self._started.set()       # release start() when the bind failed too
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True))
+            finally:
+                loop.close()
+
+    def _shutdown_on_loop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        for task in asyncio.all_tasks(self._loop):
+            task.cancel()
+        self._loop.call_soon(self._loop.stop)
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Optional[bytes]:
+        """One outer frame (payload bytes), or None on clean EOF."""
+        try:
+            prefix = await reader.readexactly(_FRAME_LEN.size)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        (length,) = _FRAME_LEN.unpack(prefix)
+        if length > self._max_frame:
+            raise BadRequestError(
+                f"frame of {length} bytes exceeds max_frame_mb="
+                f"{self.spec.max_frame_mb}")
+        try:
+            return await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer, _TokenBucket(self.spec.rate_limit_rps,
+                                                self.spec.burst))
+        self.metrics.connection_opened()
+        writer_task = asyncio.ensure_future(self._writer_loop(conn))
+        try:
+            while True:
+                parse_started = time.time()
+                try:
+                    payload = await self._read_frame(reader)
+                except BadRequestError as error:
+                    # Cannot resync mid-stream after an oversized frame: answer
+                    # and hang up.
+                    self._send_error(conn, None, error)
+                    break
+                if payload is None:
+                    break
+                self._handle_frame(conn, payload, parse_started)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            conn.queue.put_nowait(None)    # writer task: drain then exit
+            try:
+                await asyncio.wait_for(writer_task, timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError,
+                    ConnectionError):
+                writer_task.cancel()
+            writer.close()
+            self.metrics.connection_closed()
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        while True:
+            frame = await conn.queue.get()
+            if frame is None:
+                return
+            conn.writer.write(_FRAME_LEN.pack(len(frame)) + frame)
+            await conn.writer.drain()
+
+    # ------------------------------------------------------------------ frames
+    def _handle_frame(self, conn: _Connection, payload: bytes,
+                      parse_started: float) -> None:
+        try:
+            message = decode_frame(payload)
+        except Exception as error:
+            self._send_error(conn, None,
+                             BadRequestError(f"malformed frame: {error}"))
+            return
+        request_id = message.meta.get("id")
+        if message.kind == "infer":
+            self._handle_infer(conn, request_id, message, parse_started)
+        elif message.kind == "stats":
+            self._handle_stats(conn, request_id)
+        else:
+            self._send_error(conn, request_id,
+                             BadRequestError(f"unknown frame kind {message.kind!r}"))
+
+    def _handle_stats(self, conn: _Connection, request_id: Any) -> None:
+        try:
+            report = {"gateway": self.metrics.report(),
+                      "target": self.target.stats()}
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error(conn, request_id, ServingError(str(error)))
+            return
+        conn.queue.put_nowait(encode_frame(
+            "stats", {"id": request_id, "report": report}))
+
+    def _handle_infer(self, conn: _Connection, request_id: Any,
+                      message, parse_started: float) -> None:
+        meta = message.meta
+        priority = meta.get("priority", self.spec.default_priority)
+        deadline_ms = meta.get("deadline_ms")
+        trace = mint_trace()
+        if trace is not None:
+            if not conn.accept_recorded:
+                conn.accept_recorded = True
+                trace.record("gateway-accept", conn.accepted_wall,
+                             parse_started, peer=conn.peer)
+            trace.record("gateway-parse", parse_started)
+
+        admission_started = time.time()
+        try:
+            priority_index(priority)
+        except ValueError as error:
+            self._reject(conn, request_id, "normal", BadRequestError(str(error)),
+                         trace, admission_started, deadline_ms)
+            return
+        if len(message.arrays) != 1:
+            self._reject(conn, request_id, priority, BadRequestError(
+                f"infer frame must carry exactly one image array, "
+                f"got {len(message.arrays)}"), trace, admission_started,
+                deadline_ms)
+            return
+        if deadline_ms is None:
+            deadline_ms = self.spec.slo_ms.get(priority)
+        if not conn.bucket.admit():
+            self._reject(conn, request_id, priority, AdmissionRejectedError(
+                f"rate limit exceeded ({self.spec.rate_limit_rps} rps, "
+                f"burst {self.spec.burst})"), trace, admission_started,
+                deadline_ms)
+            return
+        if conn.inflight >= self.spec.max_inflight_per_client:
+            self._reject(conn, request_id, priority, AdmissionRejectedError(
+                f"client has {conn.inflight} requests in flight "
+                f"(max_inflight_per_client={self.spec.max_inflight_per_client})"),
+                trace, admission_started, deadline_ms)
+            return
+
+        if trace is not None:
+            trace.record("gateway-admission", admission_started,
+                         cls=priority, deadline_ms=deadline_ms)
+        queue_started = time.time()
+        submitted = time.perf_counter()
+        try:
+            future = self.target.submit(
+                message.arrays[0], model=meta.get("model"), block=False,
+                priority=priority, deadline_ms=deadline_ms, trace=trace)
+        except ServingError as rejection:
+            self._reject(conn, request_id, priority, rejection, trace,
+                         queue_started, deadline_ms)
+            return
+        except (TypeError, ValueError) as error:
+            self._reject(conn, request_id, priority,
+                         BadRequestError(str(error)), trace,
+                         queue_started, deadline_ms)
+            return
+        if trace is not None:
+            trace.record("gateway-queue", queue_started)
+        self.metrics.record_accept(priority)
+        conn.inflight += 1
+
+        loop = self._loop
+
+        def on_done(resolved: InferenceFuture,
+                    _conn: _Connection = conn, _id: Any = request_id,
+                    _priority: str = priority, _trace=trace,
+                    _queue_started: float = queue_started,
+                    _submitted: float = submitted) -> None:
+            # Runs on the resolving thread (batcher worker / cluster
+            # receiver): encode off-loop, then hop the bytes onto the loop.
+            error = resolved._error
+            if error is None:
+                try:
+                    treedef, arrays = flatten_arrays(resolved._result)
+                    frame = encode_frame(
+                        "result", {"id": _id, "treedef": treedef}, arrays)
+                except TypeError as encode_error:
+                    error = ServingError(
+                        f"result is not wire-encodable: {encode_error}")
+            if error is not None:
+                frame = encode_frame("error", {
+                    "id": _id, "code": error_code(error), "error": str(error)})
+            latency = time.perf_counter() - _submitted
+            if isinstance(error, DeadlineExceededError):
+                self.metrics.record_expiry(_priority)
+            else:
+                self.metrics.record_completion(_priority, latency,
+                                               failed=error is not None)
+            if _trace is not None:
+                _trace.record("gateway-dispatch", _queue_started,
+                              cls=_priority,
+                              outcome=error_code(error) if error else "ok")
+            try:
+                loop.call_soon_threadsafe(self._finish_request, _conn, frame)
+            except RuntimeError:  # pragma: no cover - loop shut down first
+                pass
+
+        future.add_done_callback(on_done)
+
+    def _finish_request(self, conn: _Connection, frame: bytes) -> None:
+        conn.inflight -= 1
+        conn.queue.put_nowait(frame)
+
+    def _reject(self, conn: _Connection, request_id: Any, priority: str,
+                error: ServingError, trace: Optional[TraceContext],
+                started: float, deadline_ms: Optional[float]) -> None:
+        self.metrics.record_reject(error.code, priority)
+        if trace is not None:
+            trace.record("gateway-admission", started, cls=priority,
+                         deadline_ms=deadline_ms, outcome=error.code)
+            trace.finish()
+        self._send_error(conn, request_id, error)
+
+    def _send_error(self, conn: _Connection, request_id: Any,
+                    error: BaseException) -> None:
+        conn.queue.put_nowait(encode_frame("error", {
+            "id": request_id, "code": error_code(error), "error": str(error)}))
+
+
+class GatewayClient:
+    """Wire-level :class:`~repro.serving.api.InferenceTarget` for a gateway.
+
+    Synchronous socket client: one sender (any thread, serialized on a lock),
+    one reader thread resolving futures from response frames.  ``submit``
+    returns the same :class:`~repro.serving.batcher.InferenceFuture` the
+    in-process targets return, and rejections come back as the same typed
+    exceptions (rehydrated from the error frame's wire ``code``), so swapping
+    a service for a ``GatewayClient`` changes nothing downstream — that is the
+    point of the protocol.
+
+    ``block=True`` submits are accepted but behave like non-blocking ones:
+    backpressure lives server-side (admission control answers immediately), so
+    there is no queue-space to wait for on this end.
+    """
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+        self._pending: Dict[int, InferenceFuture] = {}
+        self._stats: Dict[int, "threading.Event"] = {}
+        self._stats_reports: Dict[int, Dict[str, Any]] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="repro-gateway-client", daemon=True)
+        self._reader.start()
+
+    # ------------------------------------------------------------------ protocol
+    def submit(self, image: np.ndarray, model: Optional[str] = None,
+               block: bool = False, timeout: Optional[float] = None,
+               priority: str = DEFAULT_PRIORITY,
+               deadline_ms: Optional[float] = None) -> InferenceFuture:
+        """Send one infer frame; the future resolves when its response lands."""
+        request_id = next(self._ids)
+        future = InferenceFuture()
+        meta: Dict[str, Any] = {"id": request_id, "priority": priority}
+        if model is not None:
+            meta["model"] = model
+        if deadline_ms is not None:
+            meta["deadline_ms"] = float(deadline_ms)
+        with self._table_lock:
+            if self._closed:
+                raise ServiceClosedError("GatewayClient has been shut down")
+            self._pending[request_id] = future
+        try:
+            self._send(encode_frame("infer", meta, [
+                np.ascontiguousarray(image, dtype=np.float32)]))
+        except BaseException:
+            with self._table_lock:
+                self._pending.pop(request_id, None)
+            raise
+        return future
+
+    def submit_many(self, images: Union[np.ndarray, Sequence[np.ndarray]],
+                    model: Optional[str] = None,
+                    timeout: Optional[float] = None) -> Any:
+        """Submit a stack and wait; outputs concatenated in request order.
+
+        Mirrors :meth:`InferenceService.submit_many` exactly (same
+        :func:`~repro.serving.batcher.submit_stack` +
+        :func:`~repro.engine.runner._concat_outputs` path), so the result is
+        bit-identical to an in-process run over the same artifact.
+        """
+        results = submit_stack(
+            lambda image: self.submit(image, model=model, timeout=timeout),
+            images, timeout)
+        return _concat_outputs(results)
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``{"gateway": ..., "target": ...}`` metrics report."""
+        request_id = next(self._ids)
+        event = threading.Event()
+        with self._table_lock:
+            if self._closed:
+                raise ServiceClosedError("GatewayClient has been shut down")
+            self._stats[request_id] = event
+        self._send(encode_frame("stats", {"id": request_id}))
+        if not event.wait(30.0):
+            with self._table_lock:
+                self._stats.pop(request_id, None)
+            raise TimeoutError("gateway stats request timed out")
+        with self._table_lock:
+            return self._stats_reports.pop(request_id)
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Disconnect; outstanding futures fail with ``service_closed``."""
+        with self._table_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout or 5.0)
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ internals
+    def _send(self, payload: bytes) -> None:
+        try:
+            with self._send_lock:
+                self._sock.sendall(_FRAME_LEN.pack(len(payload)) + payload)
+        except OSError as error:
+            raise ServiceClosedError(
+                f"gateway connection lost while sending: {error}") from error
+
+    def _recv_exact(self, count: int) -> Optional[bytes]:
+        chunks: List[bytes] = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _reader_loop(self) -> None:
+        while True:
+            prefix = self._recv_exact(_FRAME_LEN.size)
+            if prefix is None:
+                break
+            (length,) = _FRAME_LEN.unpack(prefix)
+            payload = self._recv_exact(length)
+            if payload is None:
+                break
+            try:
+                message = decode_frame(payload)
+            except Exception as error:  # pragma: no cover - server bug
+                logger.warning("malformed frame from gateway: %s", error)
+                break
+            self._dispatch(message)
+        self._fail_outstanding()
+
+    def _dispatch(self, message) -> None:
+        request_id = message.meta.get("id")
+        if message.kind == "result":
+            with self._table_lock:
+                future = self._pending.pop(request_id, None)
+            if future is not None:
+                future._resolve(unflatten_arrays(
+                    message.meta["treedef"], message.arrays))
+        elif message.kind == "error":
+            with self._table_lock:
+                future = self._pending.pop(request_id, None)
+            if future is not None:
+                future._fail(error_from_wire(
+                    message.meta.get("code", "serving_error"),
+                    message.meta.get("error", "remote error")))
+            else:
+                logger.warning("gateway error without a pending request: %s",
+                               message.meta)
+        elif message.kind == "stats":
+            with self._table_lock:
+                event = self._stats.pop(request_id, None)
+                if event is not None:
+                    self._stats_reports[request_id] = message.meta["report"]
+            if event is not None:
+                event.set()
+        else:  # pragma: no cover - server bug
+            logger.warning("unknown frame kind from gateway: %r", message.kind)
+
+    def _fail_outstanding(self) -> None:
+        with self._table_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+            stats = list(self._stats.values())
+            self._stats.clear()
+        error = ServiceClosedError("gateway connection closed")
+        for future in pending:
+            future._fail(error)
+        for event in stats:
+            event.set()

@@ -12,14 +12,20 @@ Two standard load models:
   actually exercises queue growth, coalescing under pressure and admission
   rejection.
 
-Both target anything exposing the submit surface of
-:class:`~repro.serving.service.InferenceService` — ``submit(image, model=...,
-block=..., timeout=...) -> InferenceFuture`` — which includes the
-multi-process :class:`~repro.serving.cluster.router.Router`
-(:class:`InferenceTarget` spells out the protocol), and both return a
-:class:`LoadReport` of client-observed latency percentiles (admission to
-future-resolution, the end-to-end number a user would see) plus counts of
-completed/rejected requests.
+All three load models target any
+:class:`~repro.serving.api.InferenceTarget` — the in-process
+:class:`~repro.serving.service.InferenceService`, the multi-process
+:class:`~repro.serving.cluster.router.Router`, or the wire-level
+:class:`~repro.serving.gateway.GatewayClient` — and return client-observed
+latency percentiles (admission to future-resolution, the end-to-end number a
+user would see) plus counts of completed/rejected requests.
+
+:func:`mixed_priority_load` is the SLO harness: several priority classes with
+their own arrival rates and deadlines run concurrently against one target,
+and the per-class :class:`ClassReport` separates *rejected* (admission
+control said no), *expired* (deadline passed after admission — dropped, never
+executed) and *failed* (something actually broke), so "the high class keeps
+its SLO while the low class absorbs the rejections" is a measurable claim.
 """
 
 from __future__ import annotations
@@ -27,29 +33,28 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.serving.batcher import InferenceFuture, QueueFullError, WorkerUnavailableError
+from repro.serving.api import DEFAULT_PRIORITY, InferenceTarget
+from repro.serving.batcher import InferenceFuture
+from repro.serving.errors import (
+    ADMISSION_ERROR_CODES,
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    QueueFullError,
+    WorkerUnavailableError,
+    error_code,
+)
 from repro.utils.profiling import LatencyStats
 
 #: What a non-blocking submit raises when the target cannot admit the request
-#: right now: a full queue (service or worker) or, for a cluster, no live
-#: worker to route to.  Open-loop load counts both as rejections.
-ADMISSION_ERRORS = (QueueFullError, WorkerUnavailableError)
-
-
-class InferenceTarget(Protocol):
-    """What a load generator drives: one service *or* a whole cluster router."""
-
-    def submit(
-        self,
-        image: np.ndarray,
-        model: Optional[str] = None,
-        block: bool = False,
-        timeout: Optional[float] = None,
-    ) -> InferenceFuture: ...
+#: right now: a full queue, no live worker to route to, gateway admission
+#: control, or an infeasible deadline.  Load generators count all of these as
+#: rejections (admission control working as designed), not failures.
+ADMISSION_ERRORS = (QueueFullError, WorkerUnavailableError,
+                    AdmissionRejectedError, DeadlineExceededError)
 
 
 @dataclass
@@ -145,9 +150,10 @@ def closed_loop(
     issued = 0
     latency = LatencyStats()
     failed = 0
+    rejected = 0
 
     def client() -> None:
-        nonlocal issued, failed
+        nonlocal issued, failed, rejected
         while True:
             with lock:
                 index = issued
@@ -159,6 +165,9 @@ def closed_loop(
                 future = service.submit(next_image(index), model=model,
                                         block=True, timeout=timeout)
                 future.result(timeout)
+            except ADMISSION_ERRORS:
+                with lock:
+                    rejected += 1
             except BaseException:
                 with lock:
                     failed += 1
@@ -179,7 +188,7 @@ def closed_loop(
         mode="closed-loop",
         requests=requests,
         completed=latency.count,
-        rejected=0,
+        rejected=rejected,
         failed=failed,
         duration_seconds=duration,
         latency=latency,
@@ -233,6 +242,10 @@ def open_loop(
     for future, submitted in zip(futures, submit_times):
         try:
             future.result(timeout)
+        except ADMISSION_ERRORS:
+            # A deferred rejection (queue eviction, deadline expiry, a gateway
+            # error frame) is still admission control, not a failure.
+            rejected += 1
         except BaseException:
             failed += 1
         else:
@@ -250,3 +263,152 @@ def open_loop(
         duration_seconds=duration,
         latency=latency,
     )
+
+
+@dataclass
+class ClassLoad:
+    """One priority class's share of a :func:`mixed_priority_load` run."""
+
+    priority: str = DEFAULT_PRIORITY
+    requests: int = 32
+    rate_hz: float = 50.0
+    #: Per-request latency budget submitted as ``deadline_ms`` (None = no SLO).
+    deadline_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be > 0, got {self.rate_hz}")
+
+
+@dataclass
+class ClassReport:
+    """Per-class outcome of a mixed-priority run.
+
+    ``rejected`` and ``expired`` are both admission control doing its job
+    (expired = the deadline passed *after* admission and the request was
+    dropped unexecuted); only ``failed`` means something broke.
+    """
+
+    priority: str
+    issued: int
+    completed: int
+    rejected: int
+    expired: int
+    failed: int
+    latency: LatencyStats = field(default_factory=LatencyStats, repr=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of issued requests that completed within their budget."""
+        if self.issued == 0:
+            return 0.0
+        return self.completed / self.issued
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "priority": self.priority,
+            "issued": self.issued,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "failed": self.failed,
+            "hit_rate": round(self.hit_rate, 4),
+            "latency": self.latency.summary(),
+        }
+
+
+def mixed_priority_load(
+    service: InferenceTarget,
+    images: np.ndarray,
+    loads: Sequence[ClassLoad],
+    model: Optional[str] = None,
+    seed: int = 0,
+    timeout: float = 120.0,
+) -> Dict[str, ClassReport]:
+    """Drive several priority classes at once; one open-loop stream per class.
+
+    Each class dispatches its own Poisson arrival process (its ``rate_hz``)
+    from its own thread, submitting non-blocking with its ``priority`` and
+    ``deadline_ms``; all streams overlap in time, so the target schedules a
+    genuinely mixed queue.  Returns ``{priority: ClassReport}``.
+
+    This is the harness behind the gateway acceptance claim: under overload
+    the high class should hold ~its full hit rate while the low class's
+    rejections/expiries absorb the pressure.
+    """
+    if not loads:
+        raise ValueError("mixed_priority_load needs at least one ClassLoad")
+    seen: set = set()
+    for load in loads:
+        if load.priority in seen:
+            raise ValueError(f"duplicate ClassLoad for priority {load.priority!r}")
+        seen.add(load.priority)
+    next_image = _image_cycle(images)
+
+    outcomes: Dict[str, Tuple[List[Tuple[InferenceFuture, float]], int]] = {}
+    lock = threading.Lock()
+
+    def dispatch(load: ClassLoad, stream_seed: int) -> None:
+        gaps = poisson_gaps(load.rate_hz, load.requests, seed=stream_seed)
+        futures: List[Tuple[InferenceFuture, float]] = []
+        rejected = 0
+        next_due = time.perf_counter()
+        for index in range(load.requests):
+            now = time.perf_counter()
+            if next_due > now:
+                time.sleep(next_due - now)
+            next_due += float(gaps[index])
+            submitted = time.perf_counter()
+            try:
+                futures.append((service.submit(
+                    next_image(index), model=model, block=False,
+                    priority=load.priority, deadline_ms=load.deadline_ms),
+                    submitted))
+            except ADMISSION_ERRORS:
+                rejected += 1
+        with lock:
+            outcomes[load.priority] = (futures, rejected)
+
+    threads = [
+        threading.Thread(target=dispatch, args=(load, seed + offset),
+                         name=f"loadgen-{load.priority}", daemon=True)
+        for offset, load in enumerate(loads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    reports: Dict[str, ClassReport] = {}
+    for load in loads:
+        futures, rejected = outcomes[load.priority]
+        latency = LatencyStats()
+        expired = 0
+        failed = 0
+        for future, submitted in futures:
+            error = None
+            try:
+                error = future.exception(timeout)
+            except TimeoutError:
+                failed += 1
+                continue
+            if error is None:
+                latency.add(future.resolved_at - submitted)
+            elif isinstance(error, DeadlineExceededError):
+                expired += 1
+            elif error_code(error) in ADMISSION_ERROR_CODES:
+                rejected += 1
+            else:
+                failed += 1
+        reports[load.priority] = ClassReport(
+            priority=load.priority,
+            issued=load.requests,
+            completed=latency.count,
+            rejected=rejected,
+            expired=expired,
+            failed=failed,
+            latency=latency,
+        )
+    return reports

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.registry import Sample, get_registry, summary_samples
 from repro.utils.profiling import LatencyStats
@@ -47,6 +47,8 @@ class ServingMetrics:
         "_batch_hist": "_lock",
         "_admitted": "_lock",
         "_rejected": "_lock",
+        "_rejected_by": "_lock",
+        "_expired": "_lock",
         "_completed": "_lock",
         "_failed": "_lock",
     }
@@ -64,6 +66,11 @@ class ServingMetrics:
         self._queue_last = 0
         self._admitted = 0
         self._rejected = 0
+        #: (reason, priority class) -> count; reasons: queue_full / deadline /
+        #: preempted / admission (gateway rate limit or in-flight bound).
+        self._rejected_by: Dict[Tuple[str, str], int] = {}
+        #: priority class -> requests dropped after admission (deadline expiry).
+        self._expired: Dict[str, int] = {}
         self._completed = 0
         self._failed = 0
         self._first_admission: Optional[float] = None
@@ -86,10 +93,18 @@ class ServingMetrics:
             if self._first_admission is None:
                 self._first_admission = now
 
-    def record_rejection(self) -> None:
-        """One request turned away at admission (queue full or service closed)."""
+    def record_rejection(self, reason: str = "queue_full",
+                         priority: str = "normal") -> None:
+        """One request turned away at admission, keyed by reason and class."""
+        key = (reason, priority)
         with self._lock:
             self._rejected += 1
+            self._rejected_by[key] = self._rejected_by.get(key, 0) + 1
+
+    def record_expiry(self, priority: str = "normal") -> None:
+        """One queued request dropped because its deadline expired (never run)."""
+        with self._lock:
+            self._expired[priority] = self._expired.get(priority, 0) + 1
 
     def record_batch(self, size: int, seconds: float) -> None:
         """One executed micro-batch of ``size`` requests taking ``seconds``."""
@@ -111,6 +126,26 @@ class ServingMetrics:
             else:
                 self._latency.add(latency_seconds)
             self._last_completion = now
+
+    def reset(self) -> None:
+        """Zero every ledger (e.g. after a verification pass, before load)."""
+        with self._lock:
+            self._latency = LatencyStats()
+            self._batch_stats = LatencyStats()
+            self._batch_hist = {}
+            self._batch_size_sum = 0
+            self._batch_size_max = 0
+            self._queue_sum = 0
+            self._queue_max = 0
+            self._queue_last = 0
+            self._admitted = 0
+            self._rejected = 0
+            self._rejected_by = {}
+            self._expired = {}
+            self._completed = 0
+            self._failed = 0
+            self._first_admission = None
+            self._last_completion = None
 
     # ------------------------------------------------------------------ reporting
     @property
@@ -143,6 +178,11 @@ class ServingMetrics:
                     "completed": self._completed,
                     "failed": self._failed,
                     "rejected": self._rejected,
+                    "rejected_by": {
+                        f"{reason}/{cls}": count
+                        for (reason, cls), count in sorted(self._rejected_by.items())
+                    },
+                    "expired": dict(sorted(self._expired.items())),
                 },
                 "throughput_rps": round(throughput, 2),
                 "latency": self._latency.summary(),
@@ -189,6 +229,8 @@ class ServingMetrics:
             queue_last = self._queue_last
             queue_max = self._queue_max
             batches = self._batch_stats.count
+            rejected_by = dict(self._rejected_by)
+            expired = dict(self._expired)
             latency = LatencyStats()
             latency.merge(self._latency)   # consistent copy outside the lock
         samples = [
@@ -205,6 +247,177 @@ class ServingMetrics:
             Sample("repro_serving_queue_depth_max", labels, float(queue_max), "gauge"),
             Sample("repro_serving_throughput_rps", labels, self.throughput(), "gauge"),
         ]
+        for (reason, cls), count in sorted(rejected_by.items()):
+            samples.append(Sample(
+                "repro_serving_rejects_total",
+                dict(labels, reason=reason, **{"class": cls}),
+                float(count), "counter"))
+        for cls, count in sorted(expired.items()):
+            samples.append(Sample(
+                "repro_serving_deadline_expiries_total",
+                dict(labels, **{"class": cls}), float(count), "counter"))
         samples.extend(
             summary_samples("repro_serving_latency_seconds", labels, latency))
+        return samples
+
+
+class GatewayMetrics:
+    """Per-class accounting of the network gateway's front door.
+
+    Counts what the *gateway* decided (accepted / rejected at admission /
+    expired while queued / completed / failed) per priority class, plus the
+    live connection gauge and per-class end-to-end latency as observed at the
+    socket (parse to response write).  The downstream batcher keeps its own
+    :class:`ServingMetrics`; the two reports together separate "the scheduler
+    dropped it" from "the gateway never let it in".
+    """
+
+    _guarded_by_ = {
+        "_accepted": "_lock",
+        "_rejected": "_lock",
+        "_expired": "_lock",
+        "_completed": "_lock",
+        "_failed": "_lock",
+        "_latency": "_lock",
+        "_connections": "_lock",
+    }
+
+    def __init__(self, name: str = "gateway", register: bool = True) -> None:
+        self._lock = threading.Lock()
+        self.name = name
+        self._accepted: Dict[str, int] = {}
+        #: (reason, priority class) -> count.
+        self._rejected: Dict[Tuple[str, str], int] = {}
+        self._expired: Dict[str, int] = {}
+        self._completed: Dict[str, int] = {}
+        self._failed: Dict[str, int] = {}
+        #: priority class -> gateway-side latency distribution.
+        self._latency: Dict[str, LatencyStats] = {}
+        self._connections = 0
+        self._connections_total = 0
+        if register:
+            get_registry().register_collector(
+                f"gateway.{name}", self.collect_metrics)
+
+    # ------------------------------------------------------------------ recording
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections += 1
+            self._connections_total += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections -= 1
+
+    def record_accept(self, priority: str) -> None:
+        """One request passed gateway admission and entered the scheduler."""
+        with self._lock:
+            self._accepted[priority] = self._accepted.get(priority, 0) + 1
+
+    def record_reject(self, reason: str, priority: str) -> None:
+        """One request answered with an error frame at gateway admission."""
+        key = (reason, priority)
+        with self._lock:
+            self._rejected[key] = self._rejected.get(key, 0) + 1
+
+    def record_expiry(self, priority: str) -> None:
+        """One accepted request dropped downstream on deadline expiry."""
+        with self._lock:
+            self._expired[priority] = self._expired.get(priority, 0) + 1
+
+    def record_completion(self, priority: str, latency_seconds: float,
+                          failed: bool = False) -> None:
+        """One accepted request answered (result or non-expiry error frame)."""
+        with self._lock:
+            if failed:
+                self._failed[priority] = self._failed.get(priority, 0) + 1
+                return
+            self._completed[priority] = self._completed.get(priority, 0) + 1
+            stats = self._latency.get(priority)
+            if stats is None:
+                stats = self._latency[priority] = LatencyStats()
+            stats.add(latency_seconds)
+
+    def reset(self) -> None:
+        """Zero the request ledgers (connection gauges are left alone)."""
+        with self._lock:
+            self._accepted = {}
+            self._rejected = {}
+            self._expired = {}
+            self._completed = {}
+            self._failed = {}
+            self._latency = {}
+
+    # ------------------------------------------------------------------ reporting
+    def report(self) -> Dict[str, object]:
+        """Everything as one nested plain dict (JSON-ready)."""
+        with self._lock:
+            return {
+                "connections": {
+                    "open": self._connections,
+                    "total": self._connections_total,
+                },
+                "requests": {
+                    "accepted": dict(sorted(self._accepted.items())),
+                    "rejected": {
+                        f"{reason}/{cls}": count
+                        for (reason, cls), count in sorted(self._rejected.items())
+                    },
+                    "expired": dict(sorted(self._expired.items())),
+                    "completed": dict(sorted(self._completed.items())),
+                    "failed": dict(sorted(self._failed.items())),
+                },
+                "latency": {
+                    cls: stats.summary()
+                    for cls, stats in sorted(self._latency.items())
+                },
+            }
+
+    def collect_metrics(self) -> List[Sample]:
+        """Obs-registry collector: the gateway's series under its label."""
+        labels = {"gateway": self.name}
+        with self._lock:
+            accepted = dict(self._accepted)
+            rejected = dict(self._rejected)
+            expired = dict(self._expired)
+            completed = dict(self._completed)
+            failed = dict(self._failed)
+            connections = self._connections
+            latency = {
+                cls: stats for cls, stats in self._latency.items()}
+            merged: Dict[str, LatencyStats] = {}
+            for cls, stats in latency.items():
+                copy = LatencyStats()
+                copy.merge(stats)
+                merged[cls] = copy
+        samples = [Sample("repro_gateway_connections", labels,
+                          float(connections), "gauge")]
+        for cls, count in sorted(accepted.items()):
+            samples.append(Sample(
+                "repro_gateway_requests_total",
+                dict(labels, outcome="accepted", **{"class": cls}),
+                float(count), "counter"))
+        for (reason, cls), count in sorted(rejected.items()):
+            samples.append(Sample(
+                "repro_gateway_rejects_total",
+                dict(labels, reason=reason, **{"class": cls}),
+                float(count), "counter"))
+        for cls, count in sorted(expired.items()):
+            samples.append(Sample(
+                "repro_gateway_deadline_expiries_total",
+                dict(labels, **{"class": cls}), float(count), "counter"))
+        for cls, count in sorted(completed.items()):
+            samples.append(Sample(
+                "repro_gateway_requests_total",
+                dict(labels, outcome="completed", **{"class": cls}),
+                float(count), "counter"))
+        for cls, count in sorted(failed.items()):
+            samples.append(Sample(
+                "repro_gateway_requests_total",
+                dict(labels, outcome="failed", **{"class": cls}),
+                float(count), "counter"))
+        for cls, stats in sorted(merged.items()):
+            samples.extend(summary_samples(
+                "repro_gateway_latency_seconds",
+                dict(labels, **{"class": cls}), stats))
         return samples

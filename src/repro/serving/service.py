@@ -32,6 +32,7 @@ from repro.engine.runner import _concat_outputs
 from repro.nn.module import Module
 from repro.obs.tracing import TraceContext, mint_trace
 from repro.pipeline.artifact import DeployableArtifact
+from repro.serving.api import DEFAULT_PRIORITY
 from repro.serving.batcher import (
     BatchPolicy,
     DynamicBatcher,
@@ -156,19 +157,27 @@ class InferenceService:
 
     def submit(self, image: np.ndarray, model: Optional[str] = None,
                block: bool = False, timeout: Optional[float] = None,
-               trace: Optional[TraceContext] = None) -> InferenceFuture:
+               trace: Optional[TraceContext] = None,
+               priority: str = DEFAULT_PRIORITY,
+               deadline_ms: Optional[float] = None) -> InferenceFuture:
         """Admit one ``(C, H, W)`` image; returns its future.
 
         Non-blocking by default: raises
-        :class:`~repro.serving.batcher.QueueFullError` when the bounded queue
+        :class:`~repro.serving.errors.QueueFullError` when the bounded queue
         is at capacity (admission control), so overload is visible to callers
         instead of silently growing latency.
+
+        ``priority`` (a :data:`repro.serving.api.PRIORITY_CLASSES` name) and
+        ``deadline_ms`` feed the batcher's SLO-aware scheduler: higher classes
+        batch first, infeasible deadlines are rejected at admission with
+        :class:`~repro.serving.errors.DeadlineExceededError`, and a request
+        whose deadline expires while queued is dropped — never executed.
 
         When tracing is on (:func:`repro.obs.set_tracing` or ``REPRO_TRACE=1``)
         each admission mints a :class:`~repro.obs.tracing.TraceContext` that
         follows the request through queue, batch and engine; cluster workers
-        pass the rehydrated parent ``trace`` in instead, so one ``trace_id``
-        spans the router→worker hop.
+        and the gateway pass the rehydrated parent ``trace`` in instead, so one
+        ``trace_id`` spans the whole hop.
         """
         if model is None:
             key = self._default_key
@@ -179,7 +188,8 @@ class InferenceService:
         if trace is None:
             trace = mint_trace()     # None unless tracing is enabled
         return self._batcher_for(key).submit(
-            image, block=block, timeout=timeout, trace=trace)
+            image, block=block, timeout=timeout, trace=trace,
+            priority=priority, deadline_ms=deadline_ms)
 
     def submit_many(self, images: Union[np.ndarray, Sequence[np.ndarray]],
                     model: Optional[str] = None,
@@ -243,3 +253,19 @@ class InferenceService:
                 for key, batcher in self._batchers.items()
             }
         return report
+
+    def stats(self) -> Dict[str, Any]:
+        """:class:`~repro.serving.api.InferenceTarget` alias of :meth:`report`."""
+        return self.report()
+
+    def expected_wait_seconds(self, model: Optional[str] = None) -> float:
+        """The default (or named) model's current queueing-delay estimate."""
+        if model is None:
+            key = self._default_key
+        elif model in self._pinned:
+            key = model
+        else:
+            key = self.pool.key_for(model)
+        with self._lock:
+            batcher = self._batchers.get(key)
+        return 0.0 if batcher is None else batcher.expected_wait_seconds()

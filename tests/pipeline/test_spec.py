@@ -8,6 +8,7 @@ from repro.pipeline.spec import (
     EngineSpec,
     EvaluationSpec,
     FrameworkSpec,
+    GatewaySpec,
     ModelSpec,
     QuantizationSpec,
     RunSpec,
@@ -28,7 +29,13 @@ FULL_SPEC_DICT = {
     "serve": {"enabled": True, "max_batch_size": 4, "max_wait_ms": 1.5,
               "queue_capacity": 32, "pool_capacity": 1, "warmup": False,
               "requests": 24, "concurrency": 3, "workers": 4,
-              "routing": "least-outstanding"},
+              "routing": "least-outstanding",
+              "gateway": {"enabled": True, "host": "127.0.0.1", "port": 8707,
+                          "rate_limit_rps": 500.0, "burst": 16,
+                          "max_inflight_per_client": 32,
+                          "default_priority": "normal",
+                          "slo_ms": {"high": 50.0, "normal": 200.0},
+                          "max_frame_mb": 16.0}},
     "artifact_path": "artifacts/full.npz",
 }
 
@@ -162,6 +169,51 @@ class TestValidation:
     def test_serve_unknown_key_rejected(self):
         with pytest.raises(ValueError, match=r"ServeSpec: unknown key\(s\) \['batchsize'\]"):
             RunSpec.from_dict({"serve": {"batchsize": 4}})
+
+    def test_gateway_unknown_key_rejected_like_other_sections(self):
+        with pytest.raises(ValueError, match=r"GatewaySpec: unknown key\(s\) \['prot'\]"):
+            RunSpec.from_dict({"serve": {"gateway": {"prot": 8707}}})
+
+    def test_gateway_round_trip(self):
+        data = {"serve": {"gateway": {"enabled": True, "port": 8707,
+                                      "slo_ms": {"high": 25.0}}}}
+        spec = RunSpec.from_dict(data)
+        assert spec.serve.gateway.enabled
+        assert spec.serve.gateway.port == 8707
+        assert spec.serve.gateway.slo_ms == {"high": 25.0}
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.serve.gateway.port == 8707
+        assert again.to_dict() == spec.to_dict()
+        # Defaults: disabled, ephemeral port, no rate limit.
+        assert not ServeSpec().gateway.enabled
+        assert ServeSpec().gateway.port == 0
+
+    def test_gateway_spec_validated(self):
+        with pytest.raises(ValueError, match="port"):
+            GatewaySpec(port=70000)
+        with pytest.raises(ValueError, match="host"):
+            GatewaySpec(host="")
+        with pytest.raises(ValueError, match="rate_limit_rps"):
+            GatewaySpec(rate_limit_rps=-1.0)
+        with pytest.raises(ValueError, match="burst"):
+            GatewaySpec(burst=0)
+        with pytest.raises(ValueError, match="max_inflight_per_client"):
+            GatewaySpec(max_inflight_per_client=0)
+        with pytest.raises(ValueError, match="default_priority"):
+            GatewaySpec(default_priority="urgent")
+        with pytest.raises(ValueError, match="slo_ms"):
+            GatewaySpec(slo_ms={"urgent": 10.0})
+        with pytest.raises(ValueError, match="slo_ms"):
+            GatewaySpec(slo_ms={"high": -5.0})
+        with pytest.raises(ValueError, match="max_frame_mb"):
+            GatewaySpec(max_frame_mb=0.0)
+
+    def test_priority_classes_match_serving_registry(self):
+        # The serializable names must be exactly the classes serving schedules.
+        from repro.pipeline.spec import PRIORITY_CLASS_NAMES
+        from repro.serving.api import PRIORITY_CLASSES
+
+        assert tuple(PRIORITY_CLASS_NAMES) == tuple(PRIORITY_CLASSES)
 
     def test_evaluation_probe_validated(self):
         with pytest.raises(ValueError):

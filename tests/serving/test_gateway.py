@@ -1,0 +1,376 @@
+"""Gateway + SLO scheduling: deadlines, priorities, wire protocol, error codes.
+
+Two layers under test here:
+
+* the **scheduler semantics** the gateway relies on — priority classes,
+  deadline admission/expiry and preemption live in
+  :class:`~repro.serving.batcher.DynamicBatcher`, so they are exercised
+  directly against a recording stub (no sockets, no model);
+* the **wire protocol** — a real :class:`~repro.serving.gateway.GatewayServer`
+  fronting a real :class:`~repro.serving.service.InferenceService` over
+  localhost TCP, driven through :class:`~repro.serving.gateway.GatewayClient`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.pipeline.spec import GatewaySpec
+from repro.serving import BatchPolicy, InferenceService, ServingMetrics
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.cluster.channel import decode_frame, encode_frame
+from repro.serving.errors import (
+    WIRE_ERRORS,
+    AdmissionRejectedError,
+    BadRequestError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServingError,
+    error_code,
+    error_from_wire,
+)
+from repro.serving.gateway import GatewayClient, GatewayServer
+from repro.serving.metrics import GatewayMetrics
+
+IMAGE = np.ones((3, 8, 8), dtype=np.float32)
+
+
+class RecordingRunner:
+    """A run_batch stub recording every image it executed (by row sum)."""
+
+    def __init__(self, gate: threading.Event = None):
+        self.gate = gate
+        self.started = threading.Event()
+        self.executed = []          # row sums, in execution order
+        self.lock = threading.Lock()
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(10.0), "test gate never opened"
+        sums = batch.sum(axis=(1, 2, 3))
+        with self.lock:
+            self.executed.extend(float(s) for s in sums)
+        return sums.reshape(-1, 1)
+
+
+def gated_batcher(gate, **policy_kwargs):
+    defaults = dict(max_batch_size=1, max_wait_ms=1.0, queue_capacity=64)
+    defaults.update(policy_kwargs)
+    runner = RecordingRunner(gate=gate)
+    batcher = DynamicBatcher(runner, BatchPolicy(**defaults),
+                             metrics=ServingMetrics(name="gw-test",
+                                                    register=False))
+    return runner, batcher
+
+
+def stall_worker(runner, batcher):
+    """Park the worker inside run_batch so queued requests cannot drain."""
+    first = batcher.submit(IMAGE * 100)
+    assert runner.started.wait(10.0)
+    return first
+
+
+class TestPriorityScheduling:
+    def test_high_priority_runs_before_earlier_low(self):
+        gate = threading.Event()
+        runner, batcher = gated_batcher(gate)
+        try:
+            stalled = stall_worker(runner, batcher)
+            low = [batcher.submit(IMAGE * (i + 1), priority="low")
+                   for i in range(3)]
+            high = batcher.submit(IMAGE * 50, priority="high")
+            gate.set()
+            for future in [stalled, high, *low]:
+                future.result(10.0)
+            # The stalled request ran first (it was already executing), then
+            # the high-class request, then the earlier-submitted low ones.
+            assert runner.executed[0] == float((IMAGE * 100).sum())
+            assert runner.executed[1] == float((IMAGE * 50).sum())
+        finally:
+            gate.set()
+            batcher.shutdown(10.0)
+
+    def test_fifo_within_a_class(self):
+        gate = threading.Event()
+        runner, batcher = gated_batcher(gate)
+        try:
+            stall_worker(runner, batcher)
+            futures = [batcher.submit(IMAGE * (i + 1), priority="low")
+                       for i in range(4)]
+            gate.set()
+            for future in futures:
+                future.result(10.0)
+            expected = [float((IMAGE * (i + 1)).sum()) for i in range(4)]
+            assert runner.executed[1:] == expected
+        finally:
+            gate.set()
+            batcher.shutdown(10.0)
+
+    def test_invalid_priority_rejected(self):
+        gate = threading.Event()
+        gate.set()
+        _, batcher = gated_batcher(gate)
+        try:
+            with pytest.raises(ValueError, match="priority"):
+                batcher.submit(IMAGE, priority="urgent")
+        finally:
+            batcher.shutdown(10.0)
+
+    def test_full_queue_same_class_raises_queue_full(self):
+        gate = threading.Event()
+        runner, batcher = gated_batcher(gate, queue_capacity=2)
+        try:
+            stall_worker(runner, batcher)
+            batcher.submit(IMAGE, priority="low")
+            batcher.submit(IMAGE, priority="low")
+            with pytest.raises(QueueFullError):
+                batcher.submit(IMAGE, priority="low")
+        finally:
+            gate.set()
+            batcher.shutdown(10.0)
+
+    def test_high_preempts_newest_low_when_full(self):
+        gate = threading.Event()
+        runner, batcher = gated_batcher(gate, queue_capacity=2)
+        try:
+            stall_worker(runner, batcher)
+            victim_candidates = [batcher.submit(IMAGE * (i + 1), priority="low")
+                                 for i in range(2)]
+            high = batcher.submit(IMAGE * 50, priority="high")
+            # The *newest* low-class entry was evicted to make room.
+            with pytest.raises(AdmissionRejectedError):
+                victim_candidates[1].result(10.0)
+            gate.set()
+            high.result(10.0)
+            victim_candidates[0].result(10.0)
+            assert float((IMAGE * 2).sum()) not in runner.executed
+        finally:
+            gate.set()
+            batcher.shutdown(10.0)
+
+
+class TestDeadlines:
+    def test_already_expired_deadline_rejected_at_admission(self):
+        gate = threading.Event()
+        gate.set()
+        runner, batcher = gated_batcher(gate)
+        try:
+            with pytest.raises(DeadlineExceededError):
+                batcher.submit(IMAGE, deadline_ms=0.0)
+            with pytest.raises(DeadlineExceededError):
+                batcher.submit(IMAGE, deadline_ms=-5.0)
+            assert runner.executed == []     # rejected up front, never queued
+            report = batcher.metrics.report()
+            assert report["requests"]["rejected"] == 2
+        finally:
+            batcher.shutdown(10.0)
+
+    def test_expiry_while_queued_drops_without_executing(self):
+        gate = threading.Event()
+        runner, batcher = gated_batcher(gate)
+        try:
+            stall_worker(runner, batcher)
+            doomed = batcher.submit(IMAGE * 7, deadline_ms=20.0)
+            time.sleep(0.08)                  # let the deadline lapse in-queue
+            gate.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(10.0)
+            # The expired request was dropped, not run: only the stall request
+            # ever reached the runner.
+            batcher.shutdown(10.0)
+            assert float((IMAGE * 7).sum()) not in runner.executed
+            report = batcher.metrics.report()
+            assert report["requests"]["expired"] == {"normal": 1}
+        finally:
+            gate.set()
+            batcher.shutdown(10.0)
+
+    def test_future_deadline_met_executes_normally(self):
+        gate = threading.Event()
+        gate.set()
+        runner, batcher = gated_batcher(gate)
+        try:
+            future = batcher.submit(IMAGE * 3, deadline_ms=10_000.0)
+            assert future.result(10.0) is not None
+            assert float((IMAGE * 3).sum()) in runner.executed
+        finally:
+            batcher.shutdown(10.0)
+
+
+# --------------------------------------------------------------------------- wire
+
+
+@pytest.fixture
+def service(serve_artifact):
+    with InferenceService(
+            serve_artifact,
+            policy=BatchPolicy(max_batch_size=4, max_wait_ms=2.0,
+                               queue_capacity=64),
+            metrics=ServingMetrics(name="gw-wire", register=False),
+            warmup=False) as svc:
+        yield svc
+
+
+def start_gateway(target, **spec_kwargs):
+    spec = GatewaySpec(enabled=True, port=0, **spec_kwargs)
+    server = GatewayServer(target, spec=spec,
+                           metrics=GatewayMetrics(register=False))
+    return server.start()
+
+
+@pytest.fixture
+def gateway(service):
+    server = start_gateway(service)
+    client = GatewayClient(server.host, server.port)
+    yield server, client, service
+    client.shutdown()
+    server.shutdown()
+
+
+class TestWireProtocol:
+    def test_wire_client_bit_identical_to_in_process(self, gateway, images):
+        server, client, svc = gateway
+        wire = client.submit_many(images)
+        inproc = svc.submit_many(images)
+        np.testing.assert_array_equal(wire, inproc)
+
+    def test_single_submit_round_trip(self, gateway, images):
+        _, client, svc = gateway
+        wire = client.submit(images[0]).result(30.0)
+        inproc = svc.submit(images[0], block=True).result(30.0)
+        np.testing.assert_array_equal(wire, inproc)
+
+    def test_bad_priority_comes_back_as_bad_request(self, gateway, images):
+        server, client, _ = gateway
+        future = client.submit(images[0], priority="urgent")
+        with pytest.raises(BadRequestError):
+            future.result(30.0)
+        rejected = server.metrics.report()["requests"]["rejected"]
+        assert any(key.startswith("bad_request/") for key in rejected)
+
+    def test_expired_deadline_over_wire(self, gateway, images):
+        server, client, _ = gateway
+        future = client.submit(images[0], deadline_ms=1e-4)
+        with pytest.raises(DeadlineExceededError):
+            future.result(30.0)
+        report = server.metrics.report()["requests"]
+        # Counted as a reject (admission) or an expiry (queued) — either way
+        # the deadline machinery answered, and nothing completed.
+        drops = (sum(report["expired"].values())
+                 + sum(count for key, count in report["rejected"].items()
+                       if key.startswith("deadline_exceeded/")))
+        assert drops == 1
+        assert report["completed"] == {}
+
+    def test_stats_frame(self, gateway, images):
+        _, client, _ = gateway
+        client.submit(images[0]).result(30.0)
+        report = client.stats()
+        assert set(report) == {"gateway", "target"}
+        assert sum(report["gateway"]["requests"]["completed"].values()) >= 1
+        assert "latency" in report["target"]
+
+    def test_rate_limit_rejects_with_admission_code(self, service, images):
+        server = start_gateway(service, rate_limit_rps=0.001, burst=2)
+        client = GatewayClient(server.host, server.port)
+        try:
+            first = [client.submit(images[0]) for _ in range(2)]
+            throttled = client.submit(images[0])
+            with pytest.raises(AdmissionRejectedError):
+                throttled.result(30.0)
+            for future in first:             # the burst allowance still served
+                assert future.result(30.0) is not None
+            rejected = server.metrics.report()["requests"]["rejected"]
+            assert rejected.get("admission_rejected/normal", 0) >= 1
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_oversized_frame_answered_and_connection_dropped(self, service):
+        server = start_gateway(service, max_frame_mb=0.001)
+        client = GatewayClient(server.host, server.port)
+        try:
+            big = np.zeros((3, 256, 256), dtype=np.float32)   # ~768 KiB > 1 KiB
+            future = client.submit(big)
+            with pytest.raises(ServingError):
+                future.result(30.0)
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_unknown_frame_kind_answered_with_bad_request(self, gateway):
+        server, _, _ = gateway
+        payload = encode_frame("bogus", {"id": 9})
+        prefix = struct.Struct("!I")
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10.0) as raw:
+            raw.sendall(prefix.pack(len(payload)) + payload)
+            raw.settimeout(10.0)
+            head = b""
+            while len(head) < 4:
+                head += raw.recv(4 - len(head))
+            (length,) = prefix.unpack(head)
+            body = b""
+            while len(body) < length:
+                body += raw.recv(length - len(body))
+        message = decode_frame(body)
+        assert message.kind == "error"
+        assert message.meta["code"] == "bad_request"
+        assert message.meta["id"] == 9
+
+    def test_client_shutdown_fails_outstanding_futures(self, service, images):
+        server = start_gateway(service)
+        client = GatewayClient(server.host, server.port)
+        try:
+            done = client.submit(images[0])
+            done.result(30.0)
+            client.shutdown()
+            with pytest.raises(ServingError):
+                client.submit(images[0])
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_server_shutdown_leaves_target_running(self, service, images):
+        server = start_gateway(service)
+        client = GatewayClient(server.host, server.port)
+        client.submit(images[0]).result(30.0)
+        client.shutdown()
+        server.shutdown()
+        # The gateway is a front door, not the owner: the service still serves.
+        assert service.submit(images[0], block=True).result(30.0) is not None
+
+
+class TestErrorRegistry:
+    def test_wire_codes_are_stable(self):
+        # Append-only contract: these exact codes are on the wire.
+        assert set(WIRE_ERRORS) == {
+            "serving_error", "queue_full", "service_closed",
+            "worker_unavailable", "remote_error", "deadline_exceeded",
+            "admission_rejected", "bad_request",
+        }
+
+    def test_round_trip_through_wire_codes(self):
+        for code, cls in WIRE_ERRORS.items():
+            rehydrated = error_from_wire(code, "boom")
+            assert type(rehydrated) is cls
+            assert error_code(rehydrated) == code
+        assert type(error_from_wire("not_a_code", "x")) is ServingError
+        assert error_code(RuntimeError("x")) == "internal_error"
+
+    def test_historical_import_paths_still_work(self):
+        from repro.serving import batcher as batcher_module
+        from repro.serving import errors as errors_module
+        from repro.serving.cluster import worker as worker_module
+
+        assert batcher_module.QueueFullError is errors_module.QueueFullError
+        assert batcher_module.ServiceClosedError is errors_module.ServiceClosedError
+        assert (worker_module.RemoteInferenceError
+                is errors_module.RemoteInferenceError)
