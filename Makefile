@@ -20,6 +20,10 @@
 #                      async gateway (repro.serving.gateway) and driven with
 #                      the wire-level client; exits non-zero unless the wire
 #                      results are bit-identical to in-process submits
+#   make chaos-smoke   seeded fault-injection drill against the 2-worker
+#                      cluster (repro chaos: crash schedule under open-loop
+#                      load; exits non-zero on any dropped request or if p95
+#                      does not recover to its pre-fault band in time)
 #   make obs-smoke     observability end-to-end: a traced serve run exporting
 #                      snapshot.json / metrics.prom / metrics.jsonl /
 #                      trace.json (Chrome trace-event format), rendered once
@@ -38,7 +42,7 @@ export PYTHONPATH
 
 SMOKE_SPEC ?= examples/specs/tiny_rtoss3ep.json
 
-.PHONY: test test-engine lint lint-baseline smoke serve-smoke cluster-smoke gateway-smoke obs-smoke bench bench-check docs-check
+.PHONY: test test-engine lint lint-baseline smoke serve-smoke cluster-smoke gateway-smoke chaos-smoke obs-smoke bench bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -83,6 +87,12 @@ gateway-smoke:
 		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
 	$(PYTHON) -m repro.cli serve --artifact artifacts/serve-smoke.npz --requests 32 --concurrency 4 --gateway 127.0.0.1:0
 
+chaos-smoke:
+	@test -f artifacts/serve-smoke.npz || \
+		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
+	$(PYTHON) -m repro.cli chaos --artifact artifacts/serve-smoke.npz --workers 2 \
+		--seed 11 --warmup 2 --duration 3 --crash-rate 1.0 --rate 60 --recovery 7
+
 obs-smoke:
 	@test -f artifacts/serve-smoke.npz || \
 		$(PYTHON) -m repro.cli run --spec $(SMOKE_SPEC) --artifact artifacts/serve-smoke.npz --no-verify
@@ -107,6 +117,7 @@ docs-check:
 	@test -f docs/serving.md || { echo "docs-check: docs/serving.md is missing"; exit 1; }
 	@test -f docs/gateway.md || { echo "docs-check: docs/gateway.md is missing"; exit 1; }
 	@test -f docs/cluster.md || { echo "docs-check: docs/cluster.md is missing"; exit 1; }
+	@test -f docs/resilience.md || { echo "docs-check: docs/resilience.md is missing"; exit 1; }
 	@test -f docs/analysis.md || { echo "docs-check: docs/analysis.md is missing"; exit 1; }
 	@test -f docs/observability.md || { echo "docs-check: docs/observability.md is missing"; exit 1; }
 	@missing=0; \

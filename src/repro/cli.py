@@ -195,6 +195,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             "metrics.prom, metrics.jsonl and trace.json "
                             "(Chrome trace-event format)")
 
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection drill: crash/hang/starve a "
+                      "worker cluster under load and verify it recovers "
+                      "with zero dropped requests", parents=[common])
+    chaos.add_argument("--artifact", required=True,
+                       help="path to a DeployableArtifact .npz (see `run`)")
+    chaos.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON file with ChaosSpec keys (either bare or "
+                            "under a top-level \"chaos\" key); overrides the "
+                            "artifact spec's chaos section, and the flags "
+                            "below override both")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the drilled cluster")
+    chaos.add_argument("--rate", type=float, default=100.0,
+                       help="open-loop load during the drill, requests/s")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="fault-schedule + load seed (default: spec's)")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="fault-window seconds (default: spec's)")
+    chaos.add_argument("--warmup", type=float, default=None,
+                       help="pre-fault baseline seconds (default: spec's)")
+    chaos.add_argument("--recovery", type=float, default=5.0,
+                       help="post-fault measurement window, seconds")
+    chaos.add_argument("--crash-rate", type=float, default=None,
+                       help="worker crashes/s (default: spec's)")
+    chaos.add_argument("--hang-rate", type=float, default=None,
+                       help="worker SIGSTOP hangs/s (default: spec's)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the drill report as JSON instead of a table")
+
     metrics = sub.add_parser(
         "metrics", help="run a short load against an artifact and dump the "
                         "unified obs metrics registry", parents=[common])
@@ -771,9 +801,25 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
     obs = (_ObsSession(args.obs, artifact.spec.name, lambda: router.report())
            if args.obs else nullcontext())
     gateway_report = None
+    cluster_spec = serve_spec.cluster
+    scaler = None
     with Router(args.artifact, workers=workers, policy=policy, routing=routing,
                 warmup=serve_spec.warmup,
-                pool_capacity=serve_spec.pool_capacity) as router:
+                pool_capacity=serve_spec.pool_capacity,
+                heartbeat_interval=cluster_spec.heartbeat_interval,
+                heartbeat_timeout=cluster_spec.heartbeat_timeout,
+                max_restart_attempts=cluster_spec.max_restart_attempts,
+                min_worker_uptime=cluster_spec.min_worker_uptime,
+                restart_backoff_s=cluster_spec.restart_backoff_s,
+                restart_backoff_max_s=cluster_spec.restart_backoff_max_s,
+                shed_low_priority=cluster_spec.shed_low_priority) as router:
+        if cluster_spec.autoscaler.enabled:
+            from repro.serving.elastic import Autoscaler
+
+            scaler = Autoscaler.from_spec(router, cluster_spec.autoscaler).start()
+            print(f"autoscaler enabled: fleet "
+                  f"[{cluster_spec.autoscaler.min_workers}, "
+                  f"{cluster_spec.autoscaler.max_workers}] workers")
         if sequential is not None:
             served = router.submit_many(images)
             diff = max_abs_output_diff(served, sequential)
@@ -817,6 +863,8 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
             if front is not None:
                 gateway_report = front.server.metrics.report()
         finally:
+            if scaler is not None:
+                scaler.stop()
             if front is not None:
                 front.close()
 
@@ -846,6 +894,113 @@ def _serve_cluster(args: argparse.Namespace, artifact, policy, images, sequentia
         print(f"error: {load.failed} requests failed", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: seeded fault-injection drill against a worker cluster.
+
+    Exit code 0 only if the drill dropped zero requests AND the cluster's p95
+    returned to its pre-fault band within the recovery window — the same gate
+    ``make chaos-smoke`` and benchmarks/test_elastic_resilience.py apply.
+    """
+    import json as _json
+
+    from repro.pipeline.spec import ChaosSpec
+    from repro.serving import BatchPolicy
+    from repro.serving.chaos import run_chaos_drill
+    from repro.serving.cluster import Router
+
+    artifact = _load_cli_artifact(args.artifact)
+    if artifact is None:
+        return 2
+    serve_spec = artifact.spec.serve
+
+    chaos_dict = serve_spec.chaos.to_dict()
+    if args.spec is not None:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                loaded = _json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: could not read chaos spec {args.spec!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(loaded, dict):
+            print(f"error: chaos spec {args.spec!r} must be a JSON object",
+                  file=sys.stderr)
+            return 2
+        chaos_dict.update(loaded.get("chaos", loaded))
+    for flag, key in (("seed", "seed"), ("duration", "duration_s"),
+                      ("warmup", "warmup_s"), ("crash_rate", "crash_rate"),
+                      ("hang_rate", "hang_rate")):
+        value = getattr(args, flag)
+        if value is not None:
+            chaos_dict[key] = value
+    chaos_dict["enabled"] = True
+    try:
+        chaos = ChaosSpec.from_dict(chaos_dict)
+    except ValueError as error:
+        print(f"error: invalid chaos spec: {error}", file=sys.stderr)
+        return 2
+    if not chaos.any_faults():
+        print("error: chaos spec has every fault rate at zero — nothing to "
+              "inject (set e.g. --crash-rate 0.5)", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+
+    policy = BatchPolicy(max_batch_size=serve_spec.max_batch_size,
+                         max_wait_ms=serve_spec.max_wait_ms,
+                         queue_capacity=serve_spec.queue_capacity)
+    cluster_spec = serve_spec.cluster
+    seed = chaos.seed
+    rng = np.random.default_rng(seed)
+    shape = artifact.spec.framework.example_shape()
+    images = rng.standard_normal((32, *shape[1:])).astype(np.float32)
+
+    print(f"chaos drill: {args.workers} workers, seed {seed}, "
+          f"{chaos.warmup_s:.1f}s warmup + {chaos.duration_s:.1f}s faults "
+          f"(crash {chaos.crash_rate}/s, hang {chaos.hang_rate}/s) + "
+          f"{args.recovery:.1f}s recovery at {args.rate:.0f} rps")
+    with Router(args.artifact, workers=args.workers, policy=policy,
+                warmup=serve_spec.warmup,
+                pool_capacity=serve_spec.pool_capacity,
+                heartbeat_interval=cluster_spec.heartbeat_interval,
+                heartbeat_timeout=cluster_spec.heartbeat_timeout,
+                max_restart_attempts=cluster_spec.max_restart_attempts,
+                min_worker_uptime=cluster_spec.min_worker_uptime,
+                restart_backoff_s=cluster_spec.restart_backoff_s,
+                restart_backoff_max_s=cluster_spec.restart_backoff_max_s,
+                shed_low_priority=cluster_spec.shed_low_priority,
+                chaos=chaos) as router:
+        report = run_chaos_drill(router, images, chaos=chaos,
+                                 rate_rps=args.rate, recovery_s=args.recovery,
+                                 seed=seed, progress=print)
+
+    payload = report.as_dict()
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    else:
+        print()
+        print(format_table([{k: ("-" if v is None else v)
+                             for k, v in payload.items()
+                             if k != "drop_errors"}],
+                           title="repro chaos — drill report"))
+    ok = True
+    if report.dropped:
+        ok = False
+        print(f"error: {report.dropped} requests dropped (first causes: "
+              f"{report.drop_errors[:3]})", file=sys.stderr)
+    if report.pre_fault_p95_ms > 0 and report.recovery_p95_seconds is None:
+        ok = False
+        print("error: p95 latency never recovered to its pre-fault band "
+              "within the recovery window", file=sys.stderr)
+    if ok:
+        recovered = ("immediately" if report.recovery_p95_seconds is None
+                     else f"in {report.recovery_p95_seconds:.2f}s")
+        print(f"ok: zero drops, {report.restarts} restarts, "
+              f"{report.redispatched} redispatched, p95 recovered {recovered}")
+    return 0 if ok else 1
 
 
 def _load_cli_artifact(path: str):
@@ -991,6 +1146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_engine(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "top":

@@ -306,6 +306,176 @@ class GatewaySpec(_SpecNode):
 
 
 @dataclass
+class AutoscalerSpec(_SpecNode):
+    """Elastic fleet sizing nested inside :class:`ClusterSpec`.
+
+    Consumed by :class:`repro.serving.elastic.Autoscaler`: a supervisor loop
+    that grows the Router's worker fleet when queue depth or the windowed p95
+    latency breaches the targets below, and shrinks it back once load drains,
+    with per-direction cooldowns so decisions do not flap.
+    """
+
+    enabled: bool = False
+    #: Fleet bounds the autoscaler may move between (inclusive).
+    min_workers: int = 1
+    max_workers: int = 4
+    #: Seconds between supervisor evaluations.
+    interval_s: float = 0.5
+    #: Scale up when mean queued-per-worker exceeds this ...
+    scale_up_queue_depth: float = 4.0
+    #: ... scale down when it falls below this (must stay < scale_up).
+    scale_down_queue_depth: float = 1.0
+    #: Also scale up when the windowed p95 latency exceeds this many ms
+    #: (0 disables the latency trigger; queue depth still applies).
+    slo_p95_ms: float = 0.0
+    #: Minimum seconds between consecutive scale-ups / scale-downs.
+    cooldown_up_s: float = 2.0
+    cooldown_down_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError(
+                f"AutoscalerSpec.min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"AutoscalerSpec.max_workers must be >= min_workers "
+                f"({self.min_workers}), got {self.max_workers}")
+        if self.interval_s <= 0:
+            raise ValueError(
+                f"AutoscalerSpec.interval_s must be > 0, got {self.interval_s}")
+        if self.scale_up_queue_depth <= 0:
+            raise ValueError(
+                f"AutoscalerSpec.scale_up_queue_depth must be > 0, "
+                f"got {self.scale_up_queue_depth}")
+        if not 0 <= self.scale_down_queue_depth < self.scale_up_queue_depth:
+            raise ValueError(
+                f"AutoscalerSpec.scale_down_queue_depth must be in "
+                f"[0, scale_up_queue_depth), got {self.scale_down_queue_depth}")
+        if self.slo_p95_ms < 0:
+            raise ValueError(
+                f"AutoscalerSpec.slo_p95_ms must be >= 0, got {self.slo_p95_ms}")
+        if self.cooldown_up_s < 0 or self.cooldown_down_s < 0:
+            raise ValueError("AutoscalerSpec cooldowns must be >= 0")
+
+
+@dataclass
+class ChaosSpec(_SpecNode):
+    """Seeded fault-injection schedule nested inside :class:`ServeSpec`.
+
+    Consumed by ``repro chaos`` and
+    :class:`repro.serving.chaos.FaultInjector`: which faults to inject, how
+    often, and over what window.  Rates are independent Poisson/Bernoulli
+    streams derived from one seed, so a drill replays the same fault
+    schedule on every run.
+    """
+
+    enabled: bool = False
+    #: Seed of every fault stream (crash/hang/heartbeat/frame schedules).
+    seed: int = 0
+    #: Quiet period after each worker (re)start before faults may fire —
+    #: without it a crash-looping schedule never lets the fleet recover.
+    warmup_s: float = 2.0
+    #: Wall-clock length of the fault window; faults stop after it so the
+    #: drill can measure recovery back to the pre-fault baseline.
+    duration_s: float = 10.0
+    #: Worker crash events per second (Poisson; os._exit inside the child).
+    crash_rate: float = 0.0
+    #: Worker hang events per second (Poisson; SIGSTOP — heartbeats stop but
+    #: the process stays alive, exercising the heartbeat-timeout path).
+    hang_rate: float = 0.0
+    #: Probability each heartbeat frame is silently dropped (Bernoulli).
+    heartbeat_drop_rate: float = 0.0
+    #: Probability a channel frame is truncated mid-write (Bernoulli; the
+    #: peer sees a torn frame -> ChannelClosedError -> recovery).
+    torn_frame_rate: float = 0.0
+    #: Probability a channel frame is delayed by slow_frame_ms before send.
+    slow_frame_rate: float = 0.0
+    slow_frame_ms: float = 0.0
+    #: Artificial latency added to every gateway response write (ms).
+    gateway_latency_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.seed = int(self.seed)
+        if self.warmup_s < 0:
+            raise ValueError(f"ChaosSpec.warmup_s must be >= 0, got {self.warmup_s}")
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"ChaosSpec.duration_s must be > 0, got {self.duration_s}")
+        for name in ("crash_rate", "hang_rate"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"ChaosSpec.{name} must be >= 0 events/s, got {value!r}")
+        for name in ("heartbeat_drop_rate", "torn_frame_rate", "slow_frame_rate"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+                raise ValueError(
+                    f"ChaosSpec.{name} must be a probability in [0, 1], got {value!r}")
+        if self.slow_frame_ms < 0 or self.gateway_latency_ms < 0:
+            raise ValueError("ChaosSpec latency knobs must be >= 0 ms")
+
+    def any_faults(self) -> bool:
+        """True when at least one fault stream has a non-zero rate."""
+        return any((
+            self.crash_rate, self.hang_rate, self.heartbeat_drop_rate,
+            self.torn_frame_rate, self.slow_frame_rate, self.gateway_latency_ms,
+        ))
+
+
+@dataclass
+class ClusterSpec(_SpecNode):
+    """Supervision/elasticity knobs nested inside :class:`ServeSpec`.
+
+    Consumed by ``repro serve --workers N`` and
+    :class:`repro.serving.cluster.Router`: the heartbeat liveness contract,
+    the bounded exponential-backoff restart policy for crash-looping
+    artifacts, graceful degradation, and the optional autoscaler.
+    """
+
+    #: Seconds between worker heartbeat frames.
+    heartbeat_interval: float = 0.25
+    #: Monitor declares a worker dead after this long without a heartbeat.
+    heartbeat_timeout: float = 10.0
+    #: Quick deaths tolerated per slot before the slot is abandoned.
+    max_restart_attempts: int = 5
+    #: A worker dying sooner than this after spawn counts as a quick death.
+    min_worker_uptime: float = 1.0
+    #: Restart backoff: ~base * 2^(failures-2) seconds with jitter, capped at
+    #: max.  The first restart is immediate; backoff kicks in on repeats.
+    restart_backoff_s: float = 0.1
+    restart_backoff_max_s: float = 5.0
+    #: While degraded (any slot abandoned/respawning), shed 'low'-priority
+    #: requests at admission instead of queueing work the fleet cannot absorb.
+    shed_low_priority: bool = True
+    autoscaler: AutoscalerSpec = field(default_factory=AutoscalerSpec)
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"ClusterSpec.heartbeat_interval must be > 0, "
+                f"got {self.heartbeat_interval}")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"ClusterSpec.heartbeat_timeout must exceed heartbeat_interval "
+                f"({self.heartbeat_interval}), got {self.heartbeat_timeout}")
+        if self.max_restart_attempts < 1:
+            raise ValueError(
+                f"ClusterSpec.max_restart_attempts must be >= 1, "
+                f"got {self.max_restart_attempts}")
+        if self.min_worker_uptime < 0:
+            raise ValueError(
+                f"ClusterSpec.min_worker_uptime must be >= 0, "
+                f"got {self.min_worker_uptime}")
+        if self.restart_backoff_s < 0:
+            raise ValueError(
+                f"ClusterSpec.restart_backoff_s must be >= 0, "
+                f"got {self.restart_backoff_s}")
+        if self.restart_backoff_max_s < self.restart_backoff_s:
+            raise ValueError(
+                f"ClusterSpec.restart_backoff_max_s must be >= restart_backoff_s "
+                f"({self.restart_backoff_s}), got {self.restart_backoff_max_s}")
+
+
+@dataclass
 class ServeSpec(_SpecNode):
     """Serving defaults baked into an artifact (consumed by ``repro serve``).
 
@@ -341,6 +511,11 @@ class ServeSpec(_SpecNode):
     routing: str = "round-robin"
     #: Network gateway configuration (repro serve --gateway / GatewayServer).
     gateway: GatewaySpec = field(default_factory=GatewaySpec)
+    #: Cluster supervision/elasticity knobs (heartbeats, restart backoff,
+    #: autoscaler) applied when workers > 1.
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    #: Seeded fault-injection schedule (repro chaos / FaultInjector).
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:

@@ -33,7 +33,15 @@ real-time claim:
 * :mod:`repro.serving.gateway` — the network front door: a
   :class:`GatewayServer` speaking length-prefixed array frames over TCP with
   per-client admission control, priority classes and deadline propagation,
-  and the matching wire-level :class:`GatewayClient`.
+  and the matching wire-level :class:`GatewayClient` with bounded
+  auto-reconnect,
+* :mod:`repro.serving.elastic` — :class:`Autoscaler`, a supervisor loop that
+  grows and shrinks the Router fleet from queue depth and windowed p95
+  latency vs. the SLO, with per-direction cooldowns,
+* :mod:`repro.serving.chaos` — :class:`FaultInjector`, seeded deterministic
+  fault injection (worker crashes, hangs, heartbeat loss, torn frames,
+  response latency) plus :func:`run_chaos_drill`, the scripted
+  kill-it-under-load resilience drill behind ``repro chaos``.
 
 Quick use::
 
@@ -66,7 +74,9 @@ from repro.serving.batcher import (
     QueueFullError,
     ServiceClosedError,
 )
+from repro.serving.chaos import ChaosDrillReport, FaultInjector, run_chaos_drill
 from repro.serving.cluster import (
+    ArtifactSwapError,
     ClusterMetrics,
     RemoteInferenceError,
     Router,
@@ -74,10 +84,12 @@ from repro.serving.cluster import (
     WorkerUnavailableError,
     available_routing_policies,
 )
+from repro.serving.elastic import Autoscaler
 from repro.serving.errors import (
     AdmissionRejectedError,
     BadRequestError,
     DeadlineExceededError,
+    GatewayDisconnectedError,
     ServingError,
 )
 from repro.serving.gateway import GatewayClient, GatewayServer
@@ -98,14 +110,19 @@ __all__ = [
     "DEFAULT_PRIORITY",
     "PRIORITY_CLASSES",
     "AdmissionRejectedError",
+    "ArtifactSwapError",
+    "Autoscaler",
     "BadRequestError",
     "BatchPolicy",
+    "ChaosDrillReport",
     "ClassLoad",
     "ClassReport",
     "ClusterMetrics",
     "DeadlineExceededError",
     "DynamicBatcher",
+    "FaultInjector",
     "GatewayClient",
+    "GatewayDisconnectedError",
     "GatewayMetrics",
     "GatewayServer",
     "InferenceFuture",
@@ -129,6 +146,7 @@ __all__ = [
     "mixed_priority_load",
     "open_loop",
     "poisson_gaps",
+    "run_chaos_drill",
     "priority_index",
     "priority_name",
 ]

@@ -12,8 +12,10 @@ load.  This package scales it horizontally on one host:
   boundary without pickling arrays,
 * :mod:`repro.serving.cluster.router` — :class:`Router`, the front door:
   pluggable routing policies (round-robin, least-outstanding, model-affinity
-  hashing), health-check heartbeats, automatic worker restart with in-flight
-  request re-dispatch,
+  hashing), health-check heartbeats, automatic worker restart with
+  exponential-backoff pacing and in-flight request re-dispatch, elastic
+  ``add_worker`` / ``remove_worker``, and zero-downtime rolling
+  ``swap_artifact`` (:class:`ArtifactSwapError` on rollback),
 * :mod:`repro.serving.cluster.metrics` — :class:`ClusterMetrics`, per-worker
   and aggregate p50/p95/p99 latency and throughput.
 
@@ -42,6 +44,7 @@ from repro.serving.cluster.channel import (
 from repro.serving.cluster.metrics import ClusterMetrics
 from repro.serving.cluster.router import (
     ROUTING_POLICIES,
+    ArtifactSwapError,
     LeastOutstandingPolicy,
     ModelAffinityPolicy,
     RoundRobinPolicy,
@@ -58,6 +61,7 @@ from repro.serving.cluster.worker import (
 __all__ = [
     "ROUTING_POLICIES",
     "ArrayChannel",
+    "ArtifactSwapError",
     "ChannelClosedError",
     "ClusterMetrics",
     "LeastOutstandingPolicy",

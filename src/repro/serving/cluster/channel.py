@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -151,11 +152,18 @@ def decode_frame(frame: bytes) -> Message:
 
 
 class ArrayChannel:
-    """Length-prefixed JSON-header + raw-ndarray framing over a ``Connection``."""
+    """Length-prefixed JSON-header + raw-ndarray framing over a ``Connection``.
 
-    def __init__(self, connection) -> None:
+    ``injector`` is an optional :class:`~repro.serving.chaos.FaultInjector`
+    (duck-typed: ``frame_delay_s()`` / ``maybe_tear(frame)``) applied on the
+    send side — slow frames sleep before the write, torn frames truncate the
+    payload so the peer observes exactly a sender dying mid-write.
+    """
+
+    def __init__(self, connection, injector: Optional[Any] = None) -> None:
         self._connection = connection
         self._send_lock = threading.Lock()
+        self._injector = injector
 
     def send(  # reprolint: hot
         self,
@@ -165,6 +173,11 @@ class ArrayChannel:
     ) -> None:
         """Send one message; raises :class:`ChannelClosedError` if the peer is gone."""
         frame = encode_frame(kind, meta, arrays)
+        if self._injector is not None:
+            delay = self._injector.frame_delay_s()
+            if delay > 0:
+                time.sleep(delay)
+            frame = self._injector.maybe_tear(frame)
         try:
             with self._send_lock:
                 self._connection.send_bytes(frame)

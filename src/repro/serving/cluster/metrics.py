@@ -15,7 +15,8 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.obs.registry import Sample, get_registry, summary_samples
 from repro.utils.profiling import LatencyStats
@@ -51,7 +52,13 @@ class ClusterMetrics:
         "_workers": "_lock",
         "_first_submit": "_lock",
         "_last_completion": "_lock",
+        "_recent": "_lock",
+        "_shed": "_lock",
+        "_swaps": "_lock",
     }
+
+    #: Bound on the timestamped recent-latency window (autoscaler signal).
+    RECENT_CAPACITY = 4096
 
     def __init__(self, name: Optional[str] = None, register: bool = True) -> None:
         self._lock = threading.Lock()
@@ -59,6 +66,11 @@ class ClusterMetrics:
         self._workers: Dict[str, _WorkerLedger] = {}
         self._first_submit: Optional[float] = None
         self._last_completion: Optional[float] = None
+        #: (perf_counter, latency_s) of recent completions — the windowed-p95
+        #: source the autoscaler and chaos drill read (bounded deque).
+        self._recent: Deque[Tuple[float, float]] = deque(maxlen=self.RECENT_CAPACITY)
+        self._shed: Dict[str, int] = {}          # priority -> shed count
+        self._swaps = 0
         if register:
             get_registry().register_collector(
                 f"cluster.{self.name}", self.collect_metrics)
@@ -75,6 +87,9 @@ class ClusterMetrics:
             self._workers.clear()
             self._first_submit = None
             self._last_completion = None
+            self._recent.clear()
+            self._shed.clear()
+            self._swaps = 0
 
     # ------------------------------------------------------------------ recording
     def record_submit(self, worker: str) -> None:
@@ -93,6 +108,7 @@ class ClusterMetrics:
             else:
                 ledger.completed += 1
                 ledger.latency.add(latency_seconds)
+                self._recent.append((now, latency_seconds))
             self._last_completion = now
 
     def record_restart(self, worker: str) -> None:
@@ -104,6 +120,16 @@ class ClusterMetrics:
         """``count`` in-flight requests were re-sent after ``worker`` died."""
         with self._lock:
             self._ledger(worker).redispatched += count
+
+    def record_shed(self, priority: str) -> None:
+        """One request shed at admission while the cluster was degraded."""
+        with self._lock:
+            self._shed[priority] = self._shed.get(priority, 0) + 1
+
+    def record_swap(self) -> None:
+        """One rolling artifact swap completed across the fleet."""
+        with self._lock:
+            self._swaps += 1
 
     # ------------------------------------------------------------------ reporting
     @property
@@ -120,6 +146,23 @@ class ClusterMetrics:
     def redispatched(self) -> int:
         with self._lock:
             return sum(ledger.redispatched for ledger in self._workers.values())
+
+    def recent_p95_ms(self, window_s: float = 5.0) -> float:
+        """p95 latency (ms) over completions in the trailing ``window_s``.
+
+        The merged :class:`LatencyStats` is an all-time aggregate — useless
+        as a control signal once a load spike is minutes old.  This is the
+        *windowed* view the autoscaler compares against its SLO (0.0 when
+        the window is empty).
+        """
+        cutoff = time.perf_counter() - window_s
+        with self._lock:
+            recent = [latency for ts, latency in self._recent if ts >= cutoff]
+        if not recent:
+            return 0.0
+        ordered = sorted(recent)
+        index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+        return ordered[index] * 1e3
 
     def throughput(self) -> float:
         """Completed requests per second of wall-clock cluster time."""
@@ -158,6 +201,8 @@ class ClusterMetrics:
                     "failed": sum(l.failed for l in self._workers.values()),
                     "restarts": sum(l.restarts for l in self._workers.values()),
                     "redispatched": sum(l.redispatched for l in self._workers.values()),
+                    "shed": dict(self._shed),
+                    "swaps": self._swaps,
                     "throughput_rps": round(throughput, 2),
                     "latency": merged.summary(),
                 },
@@ -188,6 +233,12 @@ class ClusterMetrics:
                     Sample("repro_cluster_redispatched_total", worker_labels,
                            float(ledger.redispatched), "counter"),
                 ])
+            for priority in sorted(self._shed):
+                samples.append(Sample("repro_cluster_shed_total",
+                                      dict(labels, priority=priority),
+                                      float(self._shed[priority]), "counter"))
+            samples.append(Sample("repro_cluster_swaps_total", labels,
+                                  float(self._swaps), "counter"))
         samples.append(Sample("repro_cluster_throughput_rps", labels,
                               self.throughput(), "gauge"))
         samples.extend(

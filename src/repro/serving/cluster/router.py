@@ -28,15 +28,18 @@ request is ever dropped.
 from __future__ import annotations
 
 import hashlib
+import os
+import random
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.engine.runner import _concat_outputs
 from repro.obs.tracing import TraceContext, mint_trace
-from repro.pipeline.spec import ROUTING_POLICY_NAMES
+from repro.pipeline.spec import ROUTING_POLICY_NAMES, ChaosSpec
 from repro.serving.api import DEFAULT_PRIORITY, priority_index
 from repro.serving.batcher import (
     BatchPolicy,
@@ -44,7 +47,11 @@ from repro.serving.batcher import (
     ServiceClosedError,
     submit_stack,
 )
-from repro.serving.errors import DeadlineExceededError
+from repro.serving.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    ServingError,
+)
 from repro.serving.cluster.metrics import ClusterMetrics
 from repro.serving.cluster.worker import (
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -54,6 +61,25 @@ from repro.serving.cluster.worker import (
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.cluster.router")
+
+
+class ArtifactSwapError(ServingError):
+    """A rolling :meth:`Router.swap_artifact` failed and was rolled back."""
+
+
+#: Live routers, so a fork (e.g. a "fork"-start worker child spawned while a
+#: deferred-backoff respawn is pending) can reset inherited supervision state
+#: the child's missing threads would otherwise never clear.
+_LIVE_ROUTERS: "weakref.WeakSet[Router]" = weakref.WeakSet()  # reprolint: disable=mutable-global
+
+
+def _reset_routers_after_fork() -> None:
+    for router in list(_LIVE_ROUTERS):
+        router._reset_backoff_after_fork()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_routers_after_fork)
 
 
 # ------------------------------------------------------------------ routing policies
@@ -168,12 +194,16 @@ class Router:
 
     # reprolint lock-discipline contract: state shared between client threads,
     # the monitor, and redispatch threads mutates only under `_lock`
-    # (`_worker_available` is a Condition over the same lock).
+    # (`_worker_available` is a Condition over the same lock).  `_scale_lock`
+    # serializes fleet-shape changes (swap/add/remove) against each other; it
+    # is always taken *before* `_lock`, never inside it.
     _guarded_by_ = {
         "_workers": ("_lock", "_worker_available"),
         "_closed": ("_lock", "_worker_available"),
         "_abandoned": ("_lock", "_worker_available"),
         "_failures": ("_lock", "_worker_available"),
+        "_respawning": ("_lock", "_worker_available"),
+        "_incarnations": ("_lock", "_worker_available"),
         "last_fatal_error": ("_lock", "_worker_available"),
     }
 
@@ -192,6 +222,10 @@ class Router:
         max_restart_attempts: int = 5,
         min_worker_uptime: float = 1.0,
         pool_capacity: int = 2,
+        restart_backoff_s: float = 0.1,
+        restart_backoff_max_s: float = 5.0,
+        shed_low_priority: bool = True,
+        chaos: Optional[ChaosSpec] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"Router needs at least one worker, got {workers}")
@@ -207,14 +241,32 @@ class Router:
         self.max_restart_attempts = max_restart_attempts
         self.min_worker_uptime = min_worker_uptime
         self.pool_capacity = pool_capacity
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_max_s = restart_backoff_max_s
+        self.shed_low_priority = shed_low_priority
         #: Last "fatal" startup error reported by any worker (diagnostics).
         self.last_fatal_error: Optional[str] = None
 
+        #: Active fault-injection schedule (None: chaos off).  The window end
+        #: is computed *once* here in wall-clock time so every worker child —
+        #: including ones (re)spawned mid-drill — goes quiet together.
+        self.chaos = chaos if (chaos is not None and chaos.enabled
+                               and chaos.any_faults()) else None
+        self._chaos_until_wall = (
+            time.time() + self.chaos.warmup_s + self.chaos.duration_s
+            if self.chaos is not None else 0.0)
+
         self._lock = threading.Lock()
         self._worker_available = threading.Condition(self._lock)
+        self._scale_lock = threading.Lock()
         self._closed = False
         self._failures: Dict[int, int] = {}      # slot -> consecutive quick deaths
         self._abandoned: set = set()             # slots given up on (no respawn)
+        self._respawning: Set[int] = set()       # slots waiting out restart backoff
+        self._incarnations: Dict[int, int] = {}  # slot -> spawn count (chaos scoping)
+        # Jitter source for restart backoff; reseeded after fork so a child
+        # never replays the parent's jitter sequence.
+        self._backoff_rng = random.Random(os.getpid())
         self._workers: List[WorkerProcess] = []
         for slot in range(workers):
             self._workers.append(self._spawn(slot))
@@ -223,9 +275,20 @@ class Router:
         )
         self._monitor_stop = threading.Event()
         self._monitor.start()
+        _LIVE_ROUTERS.add(self)
 
     # ------------------------------------------------------------------ lifecycle
     def _spawn(self, slot: int) -> WorkerProcess:
+        with self._lock:
+            incarnation = self._incarnations.get(slot, 0) + 1
+            self._incarnations[slot] = incarnation
+        chaos_wire = None
+        if self.chaos is not None:
+            chaos_wire = {
+                "spec": self.chaos.to_dict(),
+                "scope": f"worker-{slot}#{incarnation}",
+                "until_wall": self._chaos_until_wall,
+            }
         worker = WorkerProcess(
             worker_id=f"worker-{slot}",
             artifact_path=self.artifact_path,
@@ -235,9 +298,19 @@ class Router:
             heartbeat_interval=self.heartbeat_interval,
             start_method=self.start_method,
             pool_capacity=self.pool_capacity,
+            chaos_wire=chaos_wire,
         )
         worker.start()
         return worker
+
+    def _reset_backoff_after_fork(self) -> None:  # reprolint: holds=_lock
+        # Runs in a freshly forked child (single-threaded at that point, so
+        # taking locks is unnecessary and — if the fork landed mid-critical-
+        # section — unsafe).  The parent's monitor/respawn threads do not
+        # exist here: clear their in-progress markers and reseed the jitter
+        # stream so the child never replays the parent's backoff schedule.
+        self._backoff_rng = random.Random(os.getpid())
+        self._respawning.clear()
 
     def shutdown(self, timeout: float = 30.0) -> None:
         """Stop admissions, drain every worker, stop the monitor (idempotent)."""
@@ -269,6 +342,17 @@ class Router:
         with self._lock:
             return tuple(self._workers)
 
+    @property
+    def degraded(self) -> bool:
+        """True while any slot is abandoned or waiting out restart backoff.
+
+        This is the graceful-degradation signal: the fleet is serving below
+        capacity, so (``shed_low_priority``) admission sheds the ``low``
+        class instead of queueing work it cannot absorb in time.
+        """
+        with self._lock:
+            return bool(self._abandoned or self._respawning)
+
     # ------------------------------------------------------------------ submission
     def submit(
         self,
@@ -298,6 +382,17 @@ class Router:
         :func:`~repro.obs.tracing.get_trace_buffer`.
         """
         priority_index(priority)       # validate the class name up front
+        if priority == "low" and self.shed_low_priority:
+            with self._lock:
+                shed = bool(self._abandoned or self._respawning)
+            if shed:
+                # Reduced capacity: shed the lowest class loudly (a typed
+                # admission rejection) instead of failing closed or letting
+                # it starve the classes with SLOs.
+                self.metrics.record_shed(priority)
+                raise AdmissionRejectedError(
+                    "cluster is degraded (a worker slot is down); "
+                    "shedding low-priority request")
         request_deadline: Optional[float] = None
         if deadline_ms is not None:
             if deadline_ms <= 0:
@@ -404,7 +499,7 @@ class Router:
                 snapshot = [
                     (slot, worker)
                     for slot, worker in enumerate(self._workers)
-                    if slot not in self._abandoned
+                    if slot not in self._abandoned and slot not in self._respawning
                 ]
             for slot, worker in snapshot:
                 if worker.healthy(self.heartbeat_timeout):
@@ -413,6 +508,15 @@ class Router:
 
     def _recover(self, slot: int, worker: WorkerProcess) -> None:
         """Replace a dead/unhealthy worker and re-dispatch its in-flight work."""
+        with self._lock:
+            # The slot may have been scaled away (remove_worker) or its
+            # occupant replaced (swap/deferred respawn) since the monitor
+            # snapshotted it; recovering a stale handle would clobber a live
+            # worker installed after the snapshot.  (A concurrent shutdown is
+            # NOT an early exit: this worker's pending requests still need
+            # failing, which the install-point closed check below does.)
+            if slot >= len(self._workers) or self._workers[slot] is not worker:
+                return
         logger.warning(
             "worker %s (slot %d) is unhealthy (pid %s alive=%s); recovering",
             worker.worker_id,
@@ -427,6 +531,14 @@ class Router:
         if worker.process is not None and worker.process.is_alive():
             worker.process.terminate()
             worker.process.join(5.0)
+            if worker.process.is_alive():
+                # SIGTERM stays *pending* on a stopped (hung via SIGSTOP)
+                # process — it will never die from it.  SIGKILL kills even
+                # stopped processes; escalate so a hang cannot wedge recovery.
+                logger.warning(
+                    "worker %s ignored terminate (hung?); killing", worker.worker_id)
+                worker.process.kill()
+                worker.process.join(5.0)
         if worker.channel is not None:
             worker.channel.close()
         pending = worker.take_outstanding()
@@ -446,9 +558,18 @@ class Router:
         abandon = self.restart and failures > self.max_restart_attempts
 
         replacement: Optional[WorkerProcess] = None
+        backoff = 0.0
+        slot_gone = False
         if self.restart and not abandon:
             self.metrics.record_restart(worker.worker_id)
-            replacement = self._spawn(slot)
+            # Exponential backoff with jitter on *repeat* quick deaths: an
+            # immediate restart is right for a one-off crash, but hot-spins
+            # fork+load against a crash-looping artifact.  The first failure
+            # respawns immediately (synchronously, which recovery tests rely
+            # on); repeats defer to a backoff thread.
+            backoff = self._restart_delay(failures)
+            if backoff <= 0:
+                replacement = self._spawn(slot)
         with self._lock:
             if self._closed:
                 if replacement is not None:
@@ -459,10 +580,35 @@ class Router:
                     )
                 return
             if replacement is not None:
-                self._workers[slot] = replacement
+                if slot < len(self._workers):
+                    self._workers[slot] = replacement
+                else:
+                    # The slot was scaled away while we were recovering it.
+                    slot_gone = True
+                    retire_now = replacement
+                    replacement = None
+                    threading.Thread(
+                        target=retire_now.stop, args=(5.0,), daemon=True,
+                        name=f"repro-cluster-retire-{slot}").start()
+            elif self.restart and not abandon:
+                # Mark the slot before the backoff thread exists so the
+                # monitor never double-recovers it meanwhile.
+                self._respawning.add(slot)
             if abandon or not self.restart:
                 self._abandoned.add(slot)
             self._worker_available.notify_all()
+
+        if self.restart and not abandon and replacement is None and not slot_gone:
+            logger.warning(
+                "worker slot %d died %d times quickly; backing off %.2fs before respawn",
+                slot, failures, backoff,
+            )
+            threading.Thread(
+                target=self._deferred_respawn,
+                args=(slot, backoff),
+                name=f"repro-cluster-respawn-{slot}",
+                daemon=True,
+            ).start()
 
         if abandon or not self.restart:
             if abandon:
@@ -494,6 +640,181 @@ class Router:
             )
             redispatcher.start()
 
+    def _restart_delay(self, failures: int) -> float:
+        """Seconds to wait before respawning after ``failures`` quick deaths.
+
+        0 for the first failure (immediate, synchronous restart); from the
+        second on, ``restart_backoff_s * 2^(failures-2)`` with multiplicative
+        jitter in [0.5, 1.5), capped at ``restart_backoff_max_s``.
+        """
+        if failures <= 1 or self.restart_backoff_s <= 0:
+            return 0.0
+        base = self.restart_backoff_s * (2.0 ** (failures - 2))
+        return min(self.restart_backoff_max_s,
+                   base * (0.5 + self._backoff_rng.random()))
+
+    def _deferred_respawn(self, slot: int, delay: float) -> None:
+        """Wait out the restart backoff, then bring the slot back."""
+        if self._monitor_stop.wait(delay):
+            with self._lock:
+                self._respawning.discard(slot)
+            return
+        replacement = self._spawn(slot)
+        retire: Optional[WorkerProcess] = None
+        with self._lock:
+            self._respawning.discard(slot)
+            if self._closed or slot >= len(self._workers):
+                retire = replacement
+            else:
+                self._workers[slot] = replacement
+                self._worker_available.notify_all()
+        if retire is not None:
+            retire.stop(5.0)
+
+    # ------------------------------------------------------------------ elasticity
+    def add_worker(self) -> int:
+        """Grow the fleet by one slot; returns the new slot index.
+
+        Used by the autoscaler's scale-up decision; safe against concurrent
+        swaps/removals (``_scale_lock``) and against the monitor (the new
+        slot only becomes visible once its worker handle is installed).
+        """
+        with self._scale_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError("Router has been shut down")
+                slot = len(self._workers)
+            worker = self._spawn(slot)
+            retire: Optional[WorkerProcess] = None
+            with self._lock:
+                if self._closed:
+                    retire = worker
+                else:
+                    self._workers.append(worker)
+                    self._failures.pop(slot, None)
+                    self._abandoned.discard(slot)
+                    self._worker_available.notify_all()
+            if retire is not None:
+                retire.stop(5.0)
+                raise ServiceClosedError("Router has been shut down")
+            logger.info("scaled up: added worker slot %d", slot)
+            return slot
+
+    def remove_worker(self, timeout: float = 30.0) -> int:
+        """Shrink the fleet by draining and retiring the last slot.
+
+        The retired worker stops *gracefully* — every request it admitted is
+        executed and resolved before its process exits — and anything still
+        unresolved afterwards (it died mid-drain) is re-dispatched, so scale-
+        down never drops requests.
+        """
+        with self._scale_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError("Router has been shut down")
+                if len(self._workers) <= 1:
+                    raise ValueError("cannot scale below one worker")
+                slot = len(self._workers) - 1
+                worker = self._workers.pop()
+                self._failures.pop(slot, None)
+                self._abandoned.discard(slot)
+                self._respawning.discard(slot)
+                self._worker_available.notify_all()
+            worker.stop(timeout)
+            leftover = worker.take_outstanding()
+            if leftover:
+                self.metrics.record_redispatch(worker.worker_id, len(leftover))
+                self._redispatch(leftover)
+            logger.info("scaled down: removed worker slot %d", slot)
+            return slot
+
+    def swap_artifact(self, path: str, timeout_per_worker: float = 60.0) -> None:
+        """Zero-downtime rolling upgrade of every worker to a new artifact.
+
+        Slot by slot: spawn a replacement on ``path``, wait until its child
+        reports the artifact loaded and the service live, install it, then
+        *drain* the old worker (every admitted request completes on the old
+        version).  At no point is a slot empty, no request is dropped, and no
+        batch ever mixes versions (batches form inside one worker process,
+        which only ever holds one artifact).
+
+        If the very first replacement cannot come up — the canary — the swap
+        aborts with :class:`ArtifactSwapError` and the fleet is untouched.
+        If a later replacement fails, already-upgraded slots are rolled back
+        to the old artifact so the fleet ends on one coherent version either
+        way.  A worker that *crashes after install* is the monitor's job: it
+        respawns on ``self.artifact_path``, which already names the new
+        version, so recovery converges on the rollout's target.
+        """
+        with self._scale_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosedError("Router has been shut down")
+                old_path = self.artifact_path
+                # Point respawns at the new version *before* rolling: a slot
+                # the monitor recovers mid-rollout comes back already
+                # upgraded (and the roll below detects that and skips it).
+                self.artifact_path = path
+                slots = len(self._workers)
+            upgraded: List[int] = []
+            try:
+                for slot in range(slots):
+                    self._roll_slot(slot, path, timeout_per_worker)
+                    upgraded.append(slot)
+            except ArtifactSwapError:
+                with self._lock:
+                    self.artifact_path = old_path
+                for slot in reversed(upgraded):
+                    # Roll the already-upgraded slots back; old_path loaded
+                    # moments ago, so failure here means the old artifact
+                    # vanished mid-swap — nothing left to roll back to.
+                    self._roll_slot(slot, old_path, timeout_per_worker)
+                raise
+            self.metrics.record_swap()
+            logger.info("artifact swap complete: %d slots now serve %s",
+                        slots, path)
+
+    def _roll_slot(self, slot: int, path: str, timeout: float) -> None:
+        """Upgrade one slot to ``path`` (spawn → ready-gate → install → drain)."""
+        replacement = self._spawn(slot)
+        if not replacement.wait_ready(timeout):
+            detail = replacement.fatal_error or "worker did not become ready"
+            replacement.stop(5.0)
+            raise ArtifactSwapError(
+                f"replacement for slot {slot} failed to start on {path!r}: {detail}")
+        retiring: Optional[WorkerProcess] = None
+        discard: Optional[WorkerProcess] = None
+        with self._lock:
+            if self._closed:
+                discard = replacement
+            else:
+                current = self._workers[slot]
+                if current.artifact_path == path and current.accepting:
+                    # The monitor already brought this slot up on the target
+                    # version (crash-during-swap); keep its worker, drop ours.
+                    discard = replacement
+                else:
+                    self._workers[slot] = replacement
+                    self._failures.pop(slot, None)
+                    self._abandoned.discard(slot)
+                    self._respawning.discard(slot)
+                    retiring = current
+                    self._worker_available.notify_all()
+        if discard is not None:
+            discard.stop(5.0)
+            return
+        if retiring is not None:
+            # Graceful drain: stop() flips the handle off the routing table,
+            # sends "shutdown", and the child executes everything it admitted
+            # before exiting — the receiver thread resolves those futures.
+            retiring.stop(timeout)
+            leftover = retiring.take_outstanding()
+            if leftover:
+                # The old worker died mid-drain; its unresolved requests are
+                # re-dispatched (to the new version) instead of dropped.
+                self.metrics.record_redispatch(retiring.worker_id, len(leftover))
+                self._redispatch(leftover)
+
     def _redispatch(self, pending) -> None:
         for request in pending:
             # Re-dispatch under the *original* future: clients keep waiting on
@@ -522,6 +843,11 @@ class Router:
             "max_batch_size": self.policy.max_batch_size,
             "max_wait_ms": self.policy.max_wait_ms,
             "queue_capacity": self.policy.queue_capacity,
+        }
+        report["artifact"] = self.artifact_path
+        report["degraded"] = self.degraded
+        report["worker_artifacts"] = {
+            worker.worker_id: worker.artifact_path for worker in self.workers
         }
         services: Dict[str, Any] = {}
         for worker in self.workers:

@@ -87,13 +87,19 @@ def _worker_main(
     warmup: bool,
     heartbeat_interval: float,
     pool_capacity: int = 2,
+    chaos_wire: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Entry point of the worker subprocess: serve the pipe until shutdown."""
     # Imported lazily so a "spawn" child only pays for what it uses.
     from repro.serving.pool import ModelPool
     from repro.serving.service import InferenceService
 
-    channel = ArrayChannel(connection)
+    injector = None
+    if chaos_wire is not None:
+        from repro.serving.chaos import FaultInjector
+
+        injector = FaultInjector.from_wire(chaos_wire)
+    channel = ArrayChannel(connection, injector=injector)
     stop_heartbeat = threading.Event()
     state = {"outstanding": 0}
 
@@ -106,10 +112,11 @@ def _worker_main(
                 "pid": os.getpid(),
                 "outstanding": state["outstanding"],
             }
-            try:
-                channel.send("heartbeat", meta)
-            except ChannelClosedError:
-                return
+            if injector is None or not injector.heartbeat_dropped():
+                try:
+                    channel.send("heartbeat", meta)
+                except ChannelClosedError:
+                    return
             if stop_heartbeat.wait(heartbeat_interval):
                 return
 
@@ -134,6 +141,17 @@ def _worker_main(
             pass
         stop_heartbeat.set()
         return
+
+    # The artifact loaded and the service is accepting: tell the parent (the
+    # rolling-swap path waits for this before retiring the old worker) and
+    # only now arm the chaos lifecycle — a crash schedule must not be able to
+    # masquerade as an artifact that cannot load (quick-death abandonment).
+    try:
+        channel.send("ready", {"worker_id": worker_id, "pid": os.getpid()})
+    except ChannelClosedError:
+        pass
+    if injector is not None:
+        injector.start_lifecycle()
 
     pending: Deque[Tuple[int, InferenceFuture]] = deque()
     pending_cv = threading.Condition()
@@ -312,6 +330,7 @@ class WorkerProcess:
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         start_method: Optional[str] = None,
         pool_capacity: int = 2,
+        chaos_wire: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.worker_id = worker_id
         self.artifact_path = artifact_path
@@ -321,6 +340,8 @@ class WorkerProcess:
         self.heartbeat_interval = heartbeat_interval
         self.start_method = start_method
         self.pool_capacity = pool_capacity
+        #: Wire form of the child's FaultInjector (None: no fault injection).
+        self.chaos_wire = chaos_wire
 
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.channel: Optional[ArrayChannel] = None
@@ -336,6 +357,9 @@ class WorkerProcess:
         self._receiver: Optional[threading.Thread] = None
         self._stats_event = threading.Event()
         self._stats: Optional[Dict[str, Any]] = None
+        # Set once the child reports its service is live ("ready" frame) or
+        # can never be ("fatal" / channel gone); wait_ready() distinguishes.
+        self._ready_event = threading.Event()
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> "WorkerProcess":
@@ -356,6 +380,7 @@ class WorkerProcess:
                 self.warmup,
                 self.heartbeat_interval,
                 self.pool_capacity,
+                self.chaos_wire,
             ),
             name=f"repro-cluster-{self.worker_id}",
             daemon=True,
@@ -414,6 +439,17 @@ class WorkerProcess:
             return False
         last = self.last_heartbeat if self.last_heartbeat is not None else self.started_at
         return last is not None and (time.perf_counter() - last) < heartbeat_timeout
+
+    def wait_ready(self, timeout: float = 60.0) -> bool:
+        """Block until the child's service is live; False on failure/timeout.
+
+        The rolling-swap path gates on this before retiring an old-version
+        worker: a replacement that cannot load its artifact must never cost
+        the fleet the healthy worker it was meant to replace.
+        """
+        if not self._ready_event.wait(timeout):
+            return False
+        return self.fatal_error is None and self.accepting
 
     @property
     def outstanding_count(self) -> int:
@@ -529,6 +565,9 @@ class WorkerProcess:
         with self._lock:
             self._accepting = False
             self._space.notify_all()
+        # Wake ready-waiters too: a worker that died before "ready" will
+        # never send it (wait_ready() re-checks accepting/fatal_error).
+        self._ready_event.set()
 
     def _receiver_loop(self) -> None:
         while True:
@@ -572,6 +611,8 @@ class WorkerProcess:
                 self._seal_trace(pending, message.meta)
             elif message.kind == "heartbeat":
                 self.last_heartbeat = time.perf_counter()
+            elif message.kind == "ready":
+                self._ready_event.set()
             elif message.kind == "stats":
                 self._stats = message.meta.get("report")
                 self._stats_event.set()

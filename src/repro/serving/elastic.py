@@ -1,0 +1,195 @@
+"""Elastic fleet sizing: grow and shrink a Router's workers from load.
+
+R-TOSS serves at the edge, where offered load is bursty (a junction camera at
+rush hour vs. 3 a.m.) but the worker fleet is provisioned once.
+:class:`Autoscaler` closes that loop: a supervisor thread samples two signals
+off the running :class:`~repro.serving.cluster.router.Router` —
+
+* **queue depth**: mean in-flight requests per worker (the leading indicator;
+  queues grow before latency does), and
+* **windowed p95 latency** vs. the configured SLO
+  (:meth:`~repro.serving.cluster.metrics.ClusterMetrics.recent_p95_ms` — the
+  *trailing-window* percentile, not the all-time aggregate, so an old spike
+  cannot pin the fleet large forever)
+
+— and calls :meth:`Router.add_worker` / :meth:`Router.remove_worker` inside
+``[min_workers, max_workers]``.  Scale-up and scale-down each have their own
+cooldown (asymmetric on purpose: growing is cheap and urgent, shrinking is
+optional and should lag) so the controller never flaps.
+
+Every decision is exported through :mod:`repro.obs`:
+``repro_autoscaler_decisions_total{direction=up|down}`` counts actions,
+``repro_autoscaler_workers`` gauges the current fleet size, and
+``repro_autoscaler_queue_depth`` the last observed per-worker depth.
+
+Construction from a spec::
+
+    from repro.serving.elastic import Autoscaler
+
+    scaler = Autoscaler.from_spec(router, serve_spec.cluster.autoscaler)
+    scaler.start()
+    ...
+    scaler.stop()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs.registry import get_registry
+from repro.pipeline.spec import AutoscalerSpec
+from repro.utils.logging import get_logger
+
+__all__ = ["Autoscaler"]
+
+logger = get_logger("serving.elastic")
+
+
+class Autoscaler:
+    """Supervisor loop sizing a Router's fleet from queue depth and p95.
+
+    Threading: all mutable decision state (cooldown clocks, last decision) is
+    touched only by the supervisor thread — or by direct
+    :meth:`evaluate_once` calls in tests, never both at once — so it needs
+    no lock (single-writer by contract, like the worker heartbeat fields).
+    """
+
+    def __init__(
+        self,
+        router: Any,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        interval_s: float = 0.5,
+        scale_up_queue_depth: float = 4.0,
+        scale_down_queue_depth: float = 1.0,
+        slo_p95_ms: float = 0.0,
+        cooldown_up_s: float = 2.0,
+        cooldown_down_s: float = 10.0,
+        p95_window_s: float = 5.0,
+    ) -> None:
+        if min_workers < 1 or max_workers < min_workers:
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, "
+                f"got [{min_workers}, {max_workers}]")
+        self.router = router
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.interval_s = interval_s
+        self.scale_up_queue_depth = scale_up_queue_depth
+        self.scale_down_queue_depth = scale_down_queue_depth
+        self.slo_p95_ms = slo_p95_ms
+        self.cooldown_up_s = cooldown_up_s
+        self.cooldown_down_s = cooldown_down_s
+        self.p95_window_s = p95_window_s
+
+        self._last_up = float("-inf")
+        self._last_down = float("-inf")
+        self.last_decision: Dict[str, Any] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+        registry = get_registry()
+        self._decisions = registry.counter(
+            "repro_autoscaler_decisions_total",
+            "Autoscaler scale actions by direction", ("direction",))
+        self._worker_gauge = registry.gauge(
+            "repro_autoscaler_workers", "Current worker fleet size")
+        self._depth_gauge = registry.gauge(
+            "repro_autoscaler_queue_depth",
+            "Last observed mean in-flight requests per worker")
+
+    @classmethod
+    def from_spec(cls, router: Any, spec: AutoscalerSpec) -> "Autoscaler":
+        """Build from the :class:`~repro.pipeline.spec.AutoscalerSpec` knobs."""
+        return cls(
+            router,
+            min_workers=spec.min_workers,
+            max_workers=spec.max_workers,
+            interval_s=spec.interval_s,
+            scale_up_queue_depth=spec.scale_up_queue_depth,
+            scale_down_queue_depth=spec.scale_down_queue_depth,
+            slo_p95_ms=spec.slo_p95_ms,
+            cooldown_up_s=spec.cooldown_up_s,
+            cooldown_down_s=spec.cooldown_down_s,
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            raise RuntimeError("Autoscaler.start() called twice")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-autoscaler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "Autoscaler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if self.router.closed:
+                return
+            try:
+                self.evaluate_once()
+            except Exception as error:  # pragma: no cover - defensive
+                # A scale action racing shutdown must not kill supervision.
+                logger.warning("autoscaler evaluation failed: %s", error)
+
+    # ------------------------------------------------------------------ decisions
+    def observe(self) -> Dict[str, float]:
+        """The control signals: fleet size, mean queue depth, windowed p95."""
+        workers = self.router.workers
+        count = len(workers)
+        depth = (
+            sum(worker.outstanding_count for worker in workers) / count
+            if count else 0.0)
+        p95_ms = self.router.metrics.recent_p95_ms(self.p95_window_s)
+        return {"workers": float(count), "queue_depth": depth, "p95_ms": p95_ms}
+
+    def evaluate_once(self) -> str:
+        """One control step; returns the decision ("up" / "down" / "hold")."""
+        signals = self.observe()
+        count = int(signals["workers"])
+        depth = signals["queue_depth"]
+        p95_ms = signals["p95_ms"]
+        now = time.monotonic()
+
+        slo_breached = self.slo_p95_ms > 0 and p95_ms > self.slo_p95_ms
+        pressure = depth > self.scale_up_queue_depth or slo_breached
+        idle = depth < self.scale_down_queue_depth and not slo_breached
+
+        decision = "hold"
+        if pressure and count < self.max_workers:
+            if now - self._last_up >= self.cooldown_up_s:
+                self.router.add_worker()
+                self._last_up = now
+                decision = "up"
+        elif idle and count > self.min_workers:
+            # Shrinking also respects the *up* cooldown: never retire a
+            # worker the previous step just added for a spike still draining.
+            if (now - self._last_down >= self.cooldown_down_s
+                    and now - self._last_up >= self.cooldown_down_s):
+                self.router.remove_worker()
+                self._last_down = now
+                decision = "down"
+
+        if decision != "hold":
+            self._decisions.inc(direction=decision)
+            logger.info(
+                "autoscaler: %s (depth=%.2f p95=%.1fms workers=%d -> %d)",
+                decision, depth, p95_ms, count,
+                count + (1 if decision == "up" else -1))
+        self._worker_gauge.set(float(len(self.router.workers)))
+        self._depth_gauge.set(depth)
+        self.last_decision = dict(signals, decision=decision)
+        return decision

@@ -34,6 +34,7 @@ __all__ = [
     "AdmissionRejectedError",
     "BadRequestError",
     "DeadlineExceededError",
+    "GatewayDisconnectedError",
     "QueueFullError",
     "RemoteInferenceError",
     "ServiceClosedError",
@@ -107,6 +108,18 @@ class BadRequestError(ServingError):
     code = "bad_request"
 
 
+class GatewayDisconnectedError(ServingError):
+    """The gateway TCP connection dropped and bounded reconnects failed.
+
+    Raised by :class:`repro.serving.gateway.GatewayClient` after its one
+    reconnect-and-retry attempt is exhausted: for requests in flight when the
+    connection died (whose outcome is unknowable — the server may or may not
+    have executed them) and for submits attempted while the link stays down.
+    """
+
+    code = "gateway_disconnected"
+
+
 #: code -> class, for rehydrating wire error frames.  Append-only: built once
 #: at import, never mutated (a write-once constant table, not shared state).
 # reprolint: disable=mutable-global
@@ -121,6 +134,7 @@ WIRE_ERRORS: Dict[str, Type[ServingError]] = {
         DeadlineExceededError,
         AdmissionRejectedError,
         BadRequestError,
+        GatewayDisconnectedError,
     )
 }
 

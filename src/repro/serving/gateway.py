@@ -78,6 +78,7 @@ from repro.serving.errors import (
     AdmissionRejectedError,
     BadRequestError,
     DeadlineExceededError,
+    GatewayDisconnectedError,
     ServiceClosedError,
     ServingError,
     error_code,
@@ -153,11 +154,16 @@ class GatewayServer:
 
     def __init__(self, target: Any, spec: Optional[GatewaySpec] = None,
                  metrics: Optional[GatewayMetrics] = None,
-                 name: str = "gateway") -> None:
+                 name: str = "gateway",
+                 injector: Optional[Any] = None) -> None:
         self.target = target
         self.spec = spec or GatewaySpec()
         self.metrics = metrics or GatewayMetrics(name=name)
         self.name = name
+        #: Optional chaos :class:`~repro.serving.chaos.FaultInjector`
+        #: (duck-typed: ``response_delay_s()``) — artificial latency before
+        #: each response write, for drilling client timeout/SLO behavior.
+        self.injector = injector
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._thread: Optional[threading.Thread] = None
@@ -308,6 +314,12 @@ class GatewayServer:
             frame = await conn.queue.get()
             if frame is None:
                 return
+            if self.injector is not None:
+                delay = self.injector.response_delay_s()
+                if delay > 0:
+                    # asyncio.sleep, not time.sleep: only *this* connection's
+                    # responses lag; the loop keeps serving everyone else.
+                    await asyncio.sleep(delay)
             conn.writer.write(_FRAME_LEN.pack(len(frame)) + frame)
             await conn.writer.drain()
 
@@ -475,26 +487,84 @@ class GatewayClient:
     ``block=True`` submits are accepted but behave like non-blocking ones:
     backpressure lives server-side (admission control answers immediately), so
     there is no queue-space to wait for on this end.
+
+    Reconnect semantics (``reconnect=True``): a dropped TCP connection no
+    longer poisons the client permanently.  Requests that were *in flight*
+    when the link died fail with
+    :class:`~repro.serving.errors.GatewayDisconnectedError` — their outcome
+    is unknowable, and inventing one would be lying — but the next
+    ``submit()`` dials one fresh connection and retries the (idempotent)
+    infer frame once; only if that bounded retry also fails does the caller
+    see ``gateway_disconnected``.
     """
 
     def __init__(self, host: str, port: int,
-                 connect_timeout: float = 10.0) -> None:
+                 connect_timeout: float = 10.0,
+                 reconnect: bool = True) -> None:
         self.host = host
         self.port = int(port)
-        self._sock = socket.create_connection((host, self.port),
-                                              timeout=connect_timeout)
-        self._sock.settimeout(None)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.connect_timeout = connect_timeout
+        self.reconnect = reconnect
         self._send_lock = threading.Lock()
         self._table_lock = threading.Lock()
+        # Serializes redials so a burst of failing submits dials once, not N
+        # times; always taken before _table_lock, never inside it.
+        self._reconnect_lock = threading.Lock()
         self._pending: Dict[int, InferenceFuture] = {}
         self._stats: Dict[int, "threading.Event"] = {}
         self._stats_reports: Dict[int, Dict[str, Any]] = {}
         self._ids = itertools.count()
         self._closed = False
+        self._sock: Optional[socket.socket] = None
+        # Connection generation: bumped on every (re)dial.  A reader thread
+        # only gets to fail the outstanding tables if its generation is still
+        # current — a stale reader dying after a reconnect must not shoot
+        # down futures that now belong to the new connection.
+        self._conn_gen = 0
+        self._reader: Optional[threading.Thread] = None
+        self._connect()
+
+    def _connect(self) -> int:
+        """Dial the gateway and start this connection's reader; returns its gen."""
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.connect_timeout)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._table_lock:
+            old = self._sock
+            self._sock = sock
+            self._conn_gen += 1
+            generation = self._conn_gen
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
         self._reader = threading.Thread(
-            target=self._reader_loop, name="repro-gateway-client", daemon=True)
+            target=self._reader_loop, args=(sock, generation),
+            name=f"repro-gateway-client-{generation}", daemon=True)
         self._reader.start()
+        return generation
+
+    def _try_reconnect(self, failed_gen: int) -> bool:
+        """One bounded redial after generation ``failed_gen`` died."""
+        if not self.reconnect:
+            return False
+        with self._reconnect_lock:
+            with self._table_lock:
+                if self._closed:
+                    return False
+                if self._conn_gen != failed_gen:
+                    return True      # another thread already redialed
+            try:
+                self._connect()
+            except OSError as error:
+                logger.warning("gateway reconnect to %s:%d failed: %s",
+                               self.host, self.port, error)
+                return False
+            logger.info("gateway client reconnected to %s:%d",
+                        self.host, self.port)
+            return True
 
     # ------------------------------------------------------------------ protocol
     def submit(self, image: np.ndarray, model: Optional[str] = None,
@@ -502,25 +572,38 @@ class GatewayClient:
                priority: str = DEFAULT_PRIORITY,
                deadline_ms: Optional[float] = None) -> InferenceFuture:
         """Send one infer frame; the future resolves when its response lands."""
-        request_id = next(self._ids)
-        future = InferenceFuture()
-        meta: Dict[str, Any] = {"id": request_id, "priority": priority}
+        image = np.ascontiguousarray(image, dtype=np.float32)
+        base_meta: Dict[str, Any] = {"priority": priority}
         if model is not None:
-            meta["model"] = model
+            base_meta["model"] = model
         if deadline_ms is not None:
-            meta["deadline_ms"] = float(deadline_ms)
-        with self._table_lock:
-            if self._closed:
-                raise ServiceClosedError("GatewayClient has been shut down")
-            self._pending[request_id] = future
-        try:
-            self._send(encode_frame("infer", meta, [
-                np.ascontiguousarray(image, dtype=np.float32)]))
-        except BaseException:
+            base_meta["deadline_ms"] = float(deadline_ms)
+        for attempt in (0, 1):
+            request_id = next(self._ids)
+            # A fresh future per attempt: if the first send raced a
+            # disconnect, the dying reader may already have failed the first
+            # future — a failed future cannot be re-armed.
+            future = InferenceFuture()
             with self._table_lock:
-                self._pending.pop(request_id, None)
-            raise
-        return future
+                if self._closed:
+                    raise ServiceClosedError("GatewayClient has been shut down")
+                generation = self._conn_gen
+                self._pending[request_id] = future
+            try:
+                self._send(encode_frame(
+                    "infer", dict(base_meta, id=request_id), [image]))
+            except GatewayDisconnectedError:
+                with self._table_lock:
+                    self._pending.pop(request_id, None)
+                if attempt == 0 and self._try_reconnect(generation):
+                    continue     # one bounded retry on the fresh connection
+                raise
+            except BaseException:
+                with self._table_lock:
+                    self._pending.pop(request_id, None)
+                raise
+            return future
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def submit_many(self, images: Union[np.ndarray, Sequence[np.ndarray]],
                     model: Optional[str] = None,
@@ -559,12 +642,16 @@ class GatewayClient:
             if self._closed:
                 return
             self._closed = True
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        self._sock.close()
-        self._reader.join(timeout or 5.0)
+            sock = self._sock
+            reader = self._reader
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+        if reader is not None:
+            reader.join(timeout or 5.0)
 
     def __enter__(self) -> "GatewayClient":
         return self
@@ -576,17 +663,27 @@ class GatewayClient:
     def _send(self, payload: bytes) -> None:
         try:
             with self._send_lock:
-                self._sock.sendall(_FRAME_LEN.pack(len(payload)) + payload)
+                sock = self._sock
+                if sock is None:
+                    raise OSError("no gateway connection")
+                sock.sendall(_FRAME_LEN.pack(len(payload)) + payload)
         except OSError as error:
-            raise ServiceClosedError(
+            with self._table_lock:
+                closed = self._closed
+            if closed:
+                raise ServiceClosedError(
+                    f"gateway connection lost while sending: {error}"
+                ) from error
+            raise GatewayDisconnectedError(
                 f"gateway connection lost while sending: {error}") from error
 
-    def _recv_exact(self, count: int) -> Optional[bytes]:
+    @staticmethod
+    def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
         chunks: List[bytes] = []
         remaining = count
         while remaining:
             try:
-                chunk = self._sock.recv(remaining)
+                chunk = sock.recv(remaining)
             except OSError:
                 return None
             if not chunk:
@@ -595,13 +692,13 @@ class GatewayClient:
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def _reader_loop(self) -> None:
+    def _reader_loop(self, sock: socket.socket, generation: int) -> None:
         while True:
-            prefix = self._recv_exact(_FRAME_LEN.size)
+            prefix = self._recv_exact(sock, _FRAME_LEN.size)
             if prefix is None:
                 break
             (length,) = _FRAME_LEN.unpack(prefix)
-            payload = self._recv_exact(length)
+            payload = self._recv_exact(sock, length)
             if payload is None:
                 break
             try:
@@ -610,7 +707,7 @@ class GatewayClient:
                 logger.warning("malformed frame from gateway: %s", error)
                 break
             self._dispatch(message)
-        self._fail_outstanding()
+        self._handle_disconnect(generation)
 
     def _dispatch(self, message) -> None:
         request_id = message.meta.get("id")
@@ -640,13 +737,39 @@ class GatewayClient:
         else:  # pragma: no cover - server bug
             logger.warning("unknown frame kind from gateway: %r", message.kind)
 
-    def _fail_outstanding(self) -> None:
+    def _handle_disconnect(self, generation: int) -> None:
+        """Fail everything in flight on connection ``generation``'s death.
+
+        Guarded by the generation check: after a reconnect, the *old*
+        reader thread unwinding must not fail futures that were submitted
+        on — and will be answered by — the new connection.
+        """
         with self._table_lock:
+            if generation != self._conn_gen:
+                return
+            closed = self._closed
+            # Tear the socket down NOW: a TCP send into a half-closed socket
+            # can "succeed" into the kernel buffer, which would let a later
+            # submit register a future no reader is alive to fail.  With the
+            # socket gone, the next _send fails fast and takes the bounded
+            # reconnect-and-retry path instead.
+            dead = self._sock
+            self._sock = None
             pending = list(self._pending.values())
             self._pending.clear()
             stats = list(self._stats.values())
             self._stats.clear()
-        error = ServiceClosedError("gateway connection closed")
+        if dead is not None:
+            try:
+                dead.close()
+            except OSError:
+                pass
+        if closed:
+            error: ServingError = ServiceClosedError(
+                "gateway connection closed")
+        else:
+            error = GatewayDisconnectedError(
+                "gateway connection lost; in-flight request outcome unknown")
         for future in pending:
             future._fail(error)
         for event in stats:

@@ -35,7 +35,24 @@ FULL_SPEC_DICT = {
                           "max_inflight_per_client": 32,
                           "default_priority": "normal",
                           "slo_ms": {"high": 50.0, "normal": 200.0},
-                          "max_frame_mb": 16.0}},
+                          "max_frame_mb": 16.0},
+              "cluster": {"heartbeat_interval": 0.1, "heartbeat_timeout": 3.0,
+                          "max_restart_attempts": 2, "min_worker_uptime": 0.5,
+                          "restart_backoff_s": 0.05,
+                          "restart_backoff_max_s": 2.0,
+                          "shed_low_priority": False,
+                          "autoscaler": {"enabled": True, "min_workers": 2,
+                                         "max_workers": 6, "interval_s": 0.25,
+                                         "scale_up_queue_depth": 3.0,
+                                         "scale_down_queue_depth": 0.5,
+                                         "slo_p95_ms": 80.0,
+                                         "cooldown_up_s": 1.0,
+                                         "cooldown_down_s": 5.0}},
+              "chaos": {"enabled": True, "seed": 7, "warmup_s": 1.0,
+                        "duration_s": 4.0, "crash_rate": 0.5, "hang_rate": 0.25,
+                        "heartbeat_drop_rate": 0.1, "torn_frame_rate": 0.05,
+                        "slow_frame_rate": 0.2, "slow_frame_ms": 15.0,
+                        "gateway_latency_ms": 2.0}},
     "artifact_path": "artifacts/full.npz",
 }
 
@@ -207,6 +224,66 @@ class TestValidation:
             GatewaySpec(slo_ms={"high": -5.0})
         with pytest.raises(ValueError, match="max_frame_mb"):
             GatewaySpec(max_frame_mb=0.0)
+
+    def test_cluster_round_trip(self):
+        data = {"serve": {"cluster": {"heartbeat_interval": 0.1,
+                                      "heartbeat_timeout": 2.0,
+                                      "max_restart_attempts": 7,
+                                      "autoscaler": {"enabled": True,
+                                                     "max_workers": 8}}}}
+        spec = RunSpec.from_dict(data)
+        assert spec.serve.cluster.heartbeat_interval == 0.1
+        assert spec.serve.cluster.heartbeat_timeout == 2.0
+        assert spec.serve.cluster.max_restart_attempts == 7
+        assert spec.serve.cluster.autoscaler.enabled
+        assert spec.serve.cluster.autoscaler.max_workers == 8
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+        assert again.serve.cluster.max_restart_attempts == 7
+        # Defaults: supervision on, autoscaler off, shedding on.
+        assert not ServeSpec().cluster.autoscaler.enabled
+        assert ServeSpec().cluster.shed_low_priority
+        assert ServeSpec().cluster.max_restart_attempts == 5
+
+    def test_cluster_unknown_key_rejected(self):
+        with pytest.raises(ValueError,
+                           match=r"ClusterSpec: unknown key\(s\) \['hartbeat'\]"):
+            RunSpec.from_dict({"serve": {"cluster": {"hartbeat": 1.0}}})
+        with pytest.raises(ValueError,
+                           match=r"AutoscalerSpec: unknown key\(s\) \['mni'\]"):
+            RunSpec.from_dict(
+                {"serve": {"cluster": {"autoscaler": {"mni": 1}}}})
+        with pytest.raises(ValueError,
+                           match=r"ChaosSpec: unknown key\(s\) \['crashrate'\]"):
+            RunSpec.from_dict({"serve": {"chaos": {"crashrate": 0.5}}})
+
+    def test_cluster_spec_validated(self):
+        from repro.pipeline.spec import AutoscalerSpec, ChaosSpec, ClusterSpec
+
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            ClusterSpec(heartbeat_interval=0.0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            ClusterSpec(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+        with pytest.raises(ValueError, match="max_restart_attempts"):
+            ClusterSpec(max_restart_attempts=-1)
+        with pytest.raises(ValueError, match="restart_backoff"):
+            ClusterSpec(restart_backoff_s=-0.1)
+        with pytest.raises(ValueError, match="restart_backoff_max_s"):
+            ClusterSpec(restart_backoff_s=2.0, restart_backoff_max_s=1.0)
+        with pytest.raises(ValueError, match="min_workers"):
+            AutoscalerSpec(min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            AutoscalerSpec(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError, match="interval_s"):
+            AutoscalerSpec(interval_s=0.0)
+        with pytest.raises(ValueError, match="crash_rate"):
+            ChaosSpec(crash_rate=-1.0)
+        with pytest.raises(ValueError, match="duration_s"):
+            ChaosSpec(duration_s=-1.0)
+        # any_faults reflects whether any injection rate is positive.
+        assert not ChaosSpec().any_faults()
+        assert ChaosSpec(crash_rate=0.5).any_faults()
+        assert ChaosSpec(gateway_latency_ms=5.0).any_faults()
 
     def test_priority_classes_match_serving_registry(self):
         # The serializable names must be exactly the classes serving schedules.

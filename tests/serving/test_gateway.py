@@ -30,6 +30,7 @@ from repro.serving.errors import (
     AdmissionRejectedError,
     BadRequestError,
     DeadlineExceededError,
+    GatewayDisconnectedError,
     QueueFullError,
     ServingError,
     error_code,
@@ -219,7 +220,8 @@ def service(serve_artifact):
 
 
 def start_gateway(target, **spec_kwargs):
-    spec = GatewaySpec(enabled=True, port=0, **spec_kwargs)
+    spec_kwargs.setdefault("port", 0)
+    spec = GatewaySpec(enabled=True, **spec_kwargs)
     server = GatewayServer(target, spec=spec,
                            metrics=GatewayMetrics(register=False))
     return server.start()
@@ -348,13 +350,121 @@ class TestWireProtocol:
         assert service.submit(images[0], block=True).result(30.0) is not None
 
 
+class StallTarget:
+    """InferenceTarget stub whose futures never resolve on their own."""
+
+    def __init__(self):
+        self.futures = []
+        self.lock = threading.Lock()
+
+    def submit(self, image, **kwargs):
+        from repro.serving.batcher import InferenceFuture
+
+        future = InferenceFuture()
+        with self.lock:
+            self.futures.append(future)
+        return future
+
+
+def wait_disconnect_noticed(client, timeout=10.0):
+    """Block until the client's reader has torn down the dead connection."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if client._sock is None:
+            return
+        time.sleep(0.01)
+    raise AssertionError("client never noticed the server went away")
+
+
+class TestClientReconnect:
+    def test_submit_reconnects_after_server_restart(self, service, images):
+        first = start_gateway(service)
+        port = first.port
+        client = GatewayClient(first.host, first.port)
+        second = None
+        try:
+            assert client.submit(images[0]).result(30.0) is not None
+            first.shutdown()
+            wait_disconnect_noticed(client)
+            # Same port, fresh server: the next submit must redial and serve.
+            second = start_gateway(service, port=port)
+            assert client.submit(images[0]).result(30.0) is not None
+        finally:
+            client.shutdown()
+            first.shutdown()
+            if second is not None:
+                second.shutdown()
+
+    def test_in_flight_requests_fail_with_gateway_disconnected(self, images):
+        target = StallTarget()
+        server = start_gateway(target)
+        client = GatewayClient(server.host, server.port)
+        try:
+            stuck = client.submit(images[0])
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                with target.lock:
+                    if target.futures:
+                        break
+                time.sleep(0.01)
+            with target.lock:
+                assert target.futures, "request never reached the target"
+            # The connection dies with the request in flight: its outcome is
+            # unknowable, so it must fail typed — not hang, not service_closed.
+            server.shutdown()
+            with pytest.raises(GatewayDisconnectedError) as excinfo:
+                stuck.result(30.0)
+            assert error_code(excinfo.value) == "gateway_disconnected"
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_reconnect_retries_exhausted_surface_typed_error(self, service, images):
+        server = start_gateway(service)
+        client = GatewayClient(server.host, server.port)
+        try:
+            assert client.submit(images[0]).result(30.0) is not None
+            server.shutdown()
+            wait_disconnect_noticed(client)
+            # Nothing listening any more: the one bounded redial fails too.
+            with pytest.raises(GatewayDisconnectedError):
+                client.submit(images[0])
+        finally:
+            client.shutdown()
+
+    def test_reconnect_disabled_does_not_redial(self, service, images):
+        server = start_gateway(service)
+        client = GatewayClient(server.host, server.port, reconnect=False)
+        try:
+            assert client.submit(images[0]).result(30.0) is not None
+            server.shutdown()
+            wait_disconnect_noticed(client)
+            with pytest.raises(GatewayDisconnectedError):
+                client.submit(images[0])
+        finally:
+            client.shutdown()
+
+    def test_shutdown_still_fails_outstanding_as_service_closed(self, images):
+        target = StallTarget()
+        server = start_gateway(target)
+        client = GatewayClient(server.host, server.port)
+        try:
+            stuck = client.submit(images[0])
+            client.shutdown()
+            with pytest.raises(ServingError) as excinfo:
+                stuck.result(30.0)
+            assert error_code(excinfo.value) == "service_closed"
+        finally:
+            server.shutdown()
+
+
 class TestErrorRegistry:
     def test_wire_codes_are_stable(self):
         # Append-only contract: these exact codes are on the wire.
         assert set(WIRE_ERRORS) == {
             "serving_error", "queue_full", "service_closed",
             "worker_unavailable", "remote_error", "deadline_exceeded",
-            "admission_rejected", "bad_request",
+            "admission_rejected", "bad_request", "gateway_disconnected",
         }
 
     def test_round_trip_through_wire_codes(self):
